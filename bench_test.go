@@ -1,0 +1,332 @@
+package sbr6
+
+// One benchmark per reproduced artifact (DESIGN.md experiment index).
+// Table/figure regeneration itself is cmd/sbrbench; these benches measure
+// the hot path behind each artifact so regressions show up in -bench runs.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/cga"
+	"sbr6/internal/core"
+	"sbr6/internal/geom"
+	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
+	"sbr6/internal/scenario"
+	"sbr6/internal/wire"
+)
+
+// --- shared scenario builders ---
+
+func benchProtocol(secure bool) core.Config {
+	var cfg core.Config
+	if secure {
+		cfg = core.DefaultConfig()
+	} else {
+		cfg = core.BaselineConfig()
+	}
+	cfg.DAD.Timeout = 300 * time.Millisecond
+	cfg.DiscoveryTimeout = 500 * time.Millisecond
+	cfg.AckTimeout = 400 * time.Millisecond
+	cfg.ResolveTimeout = 2 * time.Second
+	return cfg
+}
+
+func benchGrid(seed int64, n int, secure bool) scenario.Config {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	cfg := scenario.DefaultConfig()
+	cfg.Seed = seed
+	cfg.N = n
+	cfg.Placement = scenario.PlaceGrid
+	cfg.Area = geom.Rect{W: 200 * float64(side), H: 200 * float64(side)}
+	cfg.Protocol = benchProtocol(secure)
+	cfg.DNS.CommitDelay = 300 * time.Millisecond
+	cfg.Warmup = time.Second
+	cfg.Duration = 10 * time.Second
+	cfg.Cooldown = 2 * time.Second
+	cfg.Flows = []scenario.Flow{{From: 1, To: n - 1, Interval: 500 * time.Millisecond, Size: 64}}
+	return cfg
+}
+
+func runScenario(b *testing.B, cfg scenario.Config) *scenario.Result {
+	b.Helper()
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc.Run()
+}
+
+// --- T1: message codec ---
+
+func BenchmarkTable1MessageCodec(b *testing.B) {
+	a := ipv6.SiteLocal(0, 1)
+	m := &wire.RREQ{SIP: a, DIP: ipv6.SiteLocal(0, 2), Seq: 9,
+		SrcSig: make([]byte, 64), SPK: make([]byte, 32), Srn: 7}
+	for i := 0; i < 8; i++ {
+		m.SRR = append(m.SRR, wire.HopAttestation{IP: a, Sig: make([]byte, 64), PK: make([]byte, 32), Rn: 7})
+	}
+	pkt := &wire.Packet{Src: a, Dst: ipv6.AllNodes, TTL: 64, Msg: m}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := wire.Encode(pkt)
+		if _, err := wire.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2: crypto substrate ---
+
+func BenchmarkTable2CryptoOps(b *testing.B) {
+	for _, suite := range []identity.Suite{identity.SuiteEd25519, identity.SuiteRSA1024} {
+		id, err := identity.New(suite, rand.New(rand.NewSource(1)), "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg := wire.SigRREQSource(id.Addr, 42)
+		sig := id.Sign(msg)
+		b.Run(suite.String()+"/sign", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				id.Sign(msg)
+			}
+		})
+		b.Run(suite.String()+"/verify", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !id.Pub.Verify(msg, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}
+
+// --- F1: CGA generation, verification, takeover search ---
+
+func BenchmarkFigure1CGA(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	id, err := identity.New(identity.SuiteEd25519, rng, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("generate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cga.Address(id.Pub.Bytes(), uint64(i))
+		}
+	})
+	b.Run("verify", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !cga.Verify(id.Addr, id.Pub.Bytes(), id.Rn) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
+	b.Run("takeover16bit", func(b *testing.B) {
+		attacker, _ := identity.New(identity.SuiteEd25519, rng, "")
+		victim := cga.TruncatedID(id.Pub.Bytes(), id.Rn, 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rn := uint64(0)
+			for cga.TruncatedID(attacker.Pub.Bytes(), rn, 16) != victim {
+				rn++
+			}
+		}
+	})
+}
+
+// --- F2: full secure bootstrap (DAD across a 9-node grid) ---
+
+func BenchmarkFigure2DAD(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 9, true)
+		cfg.Flows = nil
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := sc.Bootstrap(); got != 9 {
+			b.Fatalf("configured %d/9", got)
+		}
+	}
+}
+
+// --- F3: discovery + delivery over a chain ---
+
+func BenchmarkFigure3RouteDiscovery(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		secure bool
+	}{{"secure", true}, {"baseline", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := benchGrid(int64(i+1), 9, mode.secure)
+				cfg.Placement = scenario.PlaceLine
+				cfg.Flows = []scenario.Flow{{From: 1, To: 8, Interval: time.Second, Size: 64}}
+				cfg.Duration = 5 * time.Second
+				res := runScenario(b, cfg)
+				if res.Delivered == 0 {
+					b.Fatal("nothing delivered")
+				}
+			}
+		})
+	}
+}
+
+// --- S1: DNS impersonation under a fake-DNS relay ---
+
+func BenchmarkSection4DNSImpersonation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 5, true)
+		cfg.Placement = scenario.PlaceLine
+		cfg.Names = map[int]string{3: "server"}
+		cfg.Behaviors = map[int]core.Behavior{1: &attack.FakeDNS{}}
+		cfg.Flows = nil
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Bootstrap()
+		poisoned := false
+		sc.Nodes[2].Resolve("server", func(a ipv6.Addr, ok bool) {
+			poisoned = ok && a == sc.Nodes[1].Addr()
+		})
+		sc.S.RunFor(8 * time.Second)
+		if poisoned {
+			b.Fatal("secure client poisoned")
+		}
+	}
+}
+
+// --- S2: black hole scenario (insider, credits on) ---
+
+func BenchmarkSection4BlackHole(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 9, true)
+		cfg.Behaviors = map[int]core.Behavior{4: &attack.BlackHole{}}
+		cfg.Duration = 15 * time.Second
+		res := runScenario(b, cfg)
+		if res.Sent == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// --- S3: forged route replies from an impersonator ---
+
+func BenchmarkSection4ForgeReplay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 5, true)
+		cfg.Placement = scenario.PlaceLine
+		im := &attack.Impersonator{}
+		cfg.Behaviors = map[int]core.Behavior{2: im}
+		cfg.Flows = []scenario.Flow{{From: 1, To: 4, Interval: time.Second, Size: 32}}
+		cfg.Duration = 5 * time.Second
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		im.Victim = sc.Nodes[4].Addr()
+		sc.Run()
+		if im.StolenData != 0 {
+			b.Fatal("secure protocol leaked data")
+		}
+	}
+}
+
+// --- S4: RERR spam with flagging ---
+
+func BenchmarkSection4RERR(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 9, true)
+		cfg.Protocol.RERRThreshold = 3
+		cfg.Behaviors = map[int]core.Behavior{4: &attack.RERRSpammer{}}
+		cfg.Flows = []scenario.Flow{{From: 1, To: 8, Interval: 400 * time.Millisecond, Size: 32}}
+		cfg.Duration = 15 * time.Second
+		runScenario(b, cfg)
+	}
+}
+
+// --- E1: clean secure run, the overhead baseline ---
+
+func BenchmarkE1Overhead(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		secure bool
+	}{{"secure", true}, {"baseline", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := runScenario(b, benchGrid(int64(i+1), 16, mode.secure))
+				if res.PDR < 0.9 {
+					b.Fatalf("PDR = %v", res.PDR)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: per-route verification cost by suite ---
+
+func BenchmarkE2SuiteAblation(b *testing.B) {
+	for _, suite := range []identity.Suite{identity.SuiteEd25519, identity.SuiteRSA1024} {
+		id, err := identity.New(suite, rand.New(rand.NewSource(1)), "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg := wire.SigHop(id.Addr, 1)
+		sig := id.Sign(msg)
+		b.Run(suite.String()+"/verify4hops", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < 4; v++ {
+					if !id.Pub.Verify(msg, sig) {
+						b.Fatal("verify failed")
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E3: credit convergence run ---
+
+func BenchmarkE3CreditConvergence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchGrid(int64(i+1), 9, true)
+		cfg.Behaviors = map[int]core.Behavior{4: &attack.BlackHole{}}
+		cfg.Duration = 20 * time.Second
+		cfg.WindowSize = 5 * time.Second
+		res := runScenario(b, cfg)
+		if len(res.Windows) == 0 {
+			b.Fatal("no windows recorded")
+		}
+	}
+}
+
+// --- E4: truncated-hash collision search rate ---
+
+func BenchmarkE4Collision(b *testing.B) {
+	pub := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(pub)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cga.TruncatedID(pub, uint64(i), 16)
+	}
+}

@@ -1,0 +1,194 @@
+// Command manetsim runs a single configurable MANET simulation and prints
+// the delivery, overhead and security counters. It is the general-purpose
+// front end to the scenario harness; cmd/sbrbench drives the same harness
+// through the fixed experiment definitions.
+//
+// Examples:
+//
+//	manetsim -n 25 -flows 4                         # secure protocol, grid
+//	manetsim -n 25 -secure=false -flows 4           # plain DSR baseline
+//	manetsim -n 25 -blackholes 2 -duration 30s      # insider black holes
+//	manetsim -n 30 -waypoint -speed 5 -loss 0.05    # mobile, lossy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/core"
+	"sbr6/internal/geom"
+	"sbr6/internal/scenario"
+	"sbr6/internal/trace"
+	"sbr6/internal/wire"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 25, "node count (node 0 is the DNS server)")
+		secure     = flag.Bool("secure", true, "secure protocol (false = plain DSR)")
+		credits    = flag.Bool("credits", true, "credit management (secure mode)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		area       = flag.Float64("area", 0, "square area side in metres (0 = grid-sized)")
+		rng        = flag.Float64("range", 250, "radio range in metres")
+		loss       = flag.Float64("loss", 0, "per-receiver frame loss probability")
+		waypoint   = flag.Bool("waypoint", false, "random waypoint mobility")
+		speed      = flag.Float64("speed", 5, "max waypoint speed m/s")
+		duration   = flag.Duration("duration", 30*time.Second, "measurement window")
+		flows      = flag.Int("flows", 2, "number of CBR flows")
+		interval   = flag.Duration("interval", 500*time.Millisecond, "packet interval per flow")
+		size       = flag.Int("size", 64, "payload bytes")
+		blackholes = flag.Int("blackholes", 0, "insider black holes (drop data, honest discovery)")
+		forging    = flag.Bool("forge", false, "black holes also forge cached-route replies")
+		spammers   = flag.Int("spammers", 0, "RERR spammers")
+		verbose    = flag.Bool("v", false, "print every node counter")
+		traceN     = flag.Int("trace", 0, "print the first N packet receptions")
+	)
+	flag.Parse()
+
+	cfg := scenario.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.N = *n
+	if *secure {
+		cfg.Protocol = core.DefaultConfig()
+	} else {
+		cfg.Protocol = core.BaselineConfig()
+	}
+	cfg.Protocol.UseCredits = *secure && *credits
+	cfg.Protocol.ProbeOnLoss = *secure && *credits
+	cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
+	cfg.DNS.CommitDelay = 500 * time.Millisecond
+	cfg.Duration = *duration
+
+	side := 1
+	for side*side < *n {
+		side++
+	}
+	if *area > 0 {
+		cfg.Area = geom.Rect{W: *area, H: *area}
+		cfg.Placement = scenario.PlaceUniform
+	} else {
+		cfg.Area = geom.Rect{W: 200 * float64(side), H: 200 * float64(side)}
+		cfg.Placement = scenario.PlaceGrid
+	}
+	cfg.Radio.Range = *rng
+	cfg.Radio.LossRate = *loss
+	if *waypoint {
+		cfg.Mobility = scenario.MobilitySpec{Waypoint: true, MinSpeed: 1, MaxSpeed: *speed, Pause: 2 * time.Second}
+	}
+
+	// Flows between deterministic distinct pairs, skipping the DNS node.
+	for f := 0; f < *flows; f++ {
+		from := 1 + (f*2)%(*n-1)
+		to := 1 + (f*2+(*n-1)/2)%(*n-1)
+		if from == to {
+			to = 1 + (to)%(*n-1)
+		}
+		cfg.Flows = append(cfg.Flows, scenario.Flow{From: from, To: to, Interval: *interval, Size: *size})
+	}
+
+	var tr *tracer
+	if *traceN > 0 {
+		tr = &tracer{limit: *traceN}
+	}
+
+	cfg.Behaviors = map[int]core.Behavior{}
+	mid := (side/2)*side + side/2
+	for b := 0; b < *blackholes; b++ {
+		idx := (mid + b) % *n
+		if idx == 0 {
+			idx = mid
+		}
+		cfg.Behaviors[idx] = &attack.BlackHole{ForgeCacheReplies: *forging}
+	}
+	for sp := 0; sp < *spammers; sp++ {
+		idx := (mid - 1 - sp + *n) % *n
+		if idx == 0 {
+			idx = 1
+		}
+		cfg.Behaviors[idx] = &attack.RERRSpammer{}
+	}
+
+	if tr != nil {
+		// Tap every node without an adversarial behaviour.
+		for i := 0; i < *n; i++ {
+			if _, taken := cfg.Behaviors[i]; !taken {
+				cfg.Behaviors[i] = &tapBehavior{tr: tr, node: i}
+			}
+		}
+	}
+
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	res := sc.Run()
+
+	if tr != nil {
+		tt := trace.NewTable(fmt.Sprintf("first %d packet receptions", len(tr.rows)), "t", "node", "packet")
+		for _, r := range tr.rows {
+			tt.Add(r.at, fmt.Sprint(r.node), r.desc)
+		}
+		fmt.Println(tt.String())
+	}
+
+	fmt.Printf("manetsim: n=%d secure=%v credits=%v blackholes=%d(forge=%v) spammers=%d seed=%d\n\n",
+		*n, *secure, cfg.Protocol.UseCredits, *blackholes, *forging, *spammers, *seed)
+
+	summary := trace.NewTable("result", "metric", "value")
+	summary.Add("configured", fmt.Sprintf("%d/%d", res.Configured, *n))
+	summary.Add("packets offered", fmt.Sprint(res.Sent))
+	summary.Add("packets delivered", fmt.Sprint(res.Delivered))
+	summary.Add("delivery ratio", fmt.Sprintf("%.3f", res.PDR))
+	summary.Add("latency mean", fmt.Sprintf("%.4fs", res.LatencyMean))
+	summary.Add("latency p95", fmt.Sprintf("%.4fs", res.LatencyP95))
+	summary.Add("control bytes", trace.FormatFloat(res.ControlBytes))
+	summary.Add("data bytes", trace.FormatFloat(res.DataBytes))
+	summary.Add("signatures", trace.FormatFloat(res.CryptoSign))
+	summary.Add("verifications", trace.FormatFloat(res.CryptoVerify))
+	summary.Add("link frames tx", fmt.Sprint(res.Link.TxFrames))
+	summary.Add("link unicast fails", fmt.Sprint(res.Link.UnicastFails))
+	summary.Add("wall clock", time.Since(start).Round(time.Millisecond).String())
+	fmt.Println(summary.String())
+
+	if *verbose {
+		t := trace.NewTable("aggregated node counters", "counter", "value")
+		for _, name := range res.Metrics.CounterNames() {
+			t.Add(name, trace.FormatFloat(res.Metrics.Get(name)))
+		}
+		fmt.Println(t.String())
+	}
+}
+
+// tracer collects the first N packet receptions across tapped nodes.
+type tracer struct {
+	limit int
+	rows  []traceRow
+}
+
+type traceRow struct {
+	at   string
+	node int
+	desc string
+}
+
+// tapBehavior is a pass-through core.Behavior that records receptions.
+type tapBehavior struct {
+	tr   *tracer
+	node int
+}
+
+// Intercept implements core.Behavior.
+func (t *tapBehavior) Intercept(n *core.Node, pkt *wire.Packet, raw []byte) bool {
+	if len(t.tr.rows) < t.tr.limit {
+		t.tr.rows = append(t.tr.rows, traceRow{at: n.Sim().Now().String(), node: t.node, desc: pkt.String()})
+	}
+	return false
+}
+
+// DropForward implements core.Behavior.
+func (t *tapBehavior) DropForward(*core.Node, *wire.Packet) bool { return false }

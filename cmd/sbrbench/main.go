@@ -1,0 +1,73 @@
+// Command sbrbench regenerates the paper's tables, figures and security
+// analysis as measured experiments. Each experiment id follows DESIGN.md:
+//
+//	T1 T2   — Table 1 message formats, Table 2 crypto substrate
+//	F1-F3   — Figures 1-3 (CGA layout, secure DAD, route discovery)
+//	S1-S4   — Section 4 attacks (DNS impersonation, black hole,
+//	          forged/replayed control, RERR spam)
+//	E1-E4   — derived measurements (overhead, suite ablation, credit
+//	          convergence, collision probability)
+//
+// Usage:
+//
+//	sbrbench -exp all            # everything, full sweeps
+//	sbrbench -exp S2,E3 -quick   # selected experiments, small sweeps
+//	sbrbench -list               # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sbr6/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		reps  = flag.Int("reps", 3, "replicate seeds for stochastic sweeps")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Replicates: *reps}
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		for _, tb := range e.Run(opts) {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

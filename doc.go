@@ -1,0 +1,25 @@
+// Package sbr6 is a from-scratch Go reproduction of "Secure Bootstrapping
+// and Routing in an IPv6-Based Ad Hoc Network" (Tseng, Jiang, Lee; ICPP
+// Workshops 2003): CGA-based secure address autoconfiguration with extended
+// duplicate address detection and 6DNAR name registration, an in-MANET DNS
+// server as the sole trust anchor, a DSR-derived secure routing protocol
+// with per-hop identity attestations, and credit-based route maintenance —
+// all running on a deterministic discrete-event wireless simulator with
+// programmable adversaries.
+//
+// Layout:
+//
+//	internal/core        the full secure node stack (the paper's contribution)
+//	internal/{sim,geom,mobility,radio}   simulation substrate
+//	internal/{ipv6,cga,identity,wire}    addressing, crypto and wire format
+//	internal/{ndp,dnssrv,dsr,credit}     protocol building blocks
+//	internal/attack      Section 4 adversaries
+//	internal/scenario    declarative experiment harness
+//	internal/experiments every table/figure/attack regenerated (T1..E4)
+//	cmd/sbrbench         experiment runner
+//	cmd/manetsim         general simulator CLI
+//	examples/            quickstart, rescue, battlefield, nameserver
+//
+// The benchmark file in this directory holds one testing.B benchmark per
+// reproduced artifact, mirroring the experiment ids in DESIGN.md.
+package sbr6

@@ -1,0 +1,81 @@
+// Battlefield: the paper's hostile-environment motivation.
+//
+// A 5x5 grid of nodes carries traffic between opposite corners while three
+// insider adversaries sit on the central positions: two black holes that
+// relay discovery honestly but silently swallow data, and one node that
+// drops packets while reporting fabricated route errors. The same battle
+// is fought three times — plain DSR, the secure protocol without credits,
+// and the full protocol — to show what each defense layer buys.
+//
+// Run with: go run ./examples/battlefield
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/core"
+	"sbr6/internal/scenario"
+	"sbr6/internal/trace"
+)
+
+func main() {
+	table := trace.NewTable("battlefield: 25 nodes, 2 insider black holes + 1 RERR spammer",
+		"protocol", "delivered", "PDR", "holes condemned", "spam flagged", "forged RERR rejected")
+
+	for _, variant := range []struct {
+		name    string
+		secure  bool
+		credits bool
+	}{
+		{"plain DSR", false, false},
+		{"secure, no credits", true, false},
+		{"secure + credits", true, true},
+	} {
+		cfg := scenario.DefaultConfig()
+		cfg.Seed = 11
+		cfg.N = 25
+		cfg.Placement = scenario.PlaceGrid
+		if variant.secure {
+			cfg.Protocol = core.DefaultConfig()
+		} else {
+			cfg.Protocol = core.BaselineConfig()
+		}
+		cfg.Protocol.UseCredits = variant.credits
+		cfg.Protocol.ProbeOnLoss = variant.credits
+		cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
+		cfg.DNS.CommitDelay = 500 * time.Millisecond
+		cfg.Duration = 40 * time.Second
+
+		// The middle row carries most corner-to-corner paths.
+		cfg.Behaviors = map[int]core.Behavior{
+			12: &attack.BlackHole{},   // dead centre
+			11: &attack.BlackHole{},   // centre-left
+			13: &attack.RERRSpammer{}, // centre-right
+		}
+		cfg.Flows = []scenario.Flow{
+			{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64},
+			{From: 4, To: 20, Interval: 500 * time.Millisecond, Size: 64},
+			{From: 21, To: 3, Interval: 500 * time.Millisecond, Size: 64},
+		}
+
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sc.Run()
+		table.Add(variant.name,
+			fmt.Sprintf("%d/%d", res.Delivered, res.Sent),
+			fmt.Sprintf("%.3f", res.PDR),
+			trace.FormatFloat(res.Metrics.Get("probe.concluded")),
+			trace.FormatFloat(res.Metrics.Get("rerr.spammer_flagged")),
+			trace.FormatFloat(res.Metrics.Get("rerr.rejected")))
+	}
+
+	fmt.Println(table.String())
+	fmt.Println("reading the table: plain DSR loses most corner traffic to the")
+	fmt.Println("insiders; signatures alone pin identities but cannot see silent")
+	fmt.Println("drops; credits + probing locate the holes and route around them.")
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sbr6/internal/ipv6"
+	"sbr6/internal/ndp"
+	"sbr6/internal/wire"
+)
+
+// This file implements the node's side of secure address autoconfiguration
+// (Section 3.1): flooding AREQs, objecting to duplicates with challenge-
+// signed AREPs, warning the DNS server, and relaying the replies back to a
+// host that does not yet own a routable address.
+
+// sendAREQ is wired into the ndp.Initiator: it floods the request and
+// pre-marks it as seen so the node ignores echoed copies of its own flood.
+func (n *Node) sendAREQ(m *wire.AREQ) {
+	n.areqSeen.Seen(m.SIP, areqKey(m))
+	n.met.Add1("dad.rounds")
+	n.Flood(m, n.cfg.TTL)
+}
+
+// areqKey folds the challenge into the dedup key so two hosts that happen
+// to probe the same tentative address with the same sequence number do not
+// suppress each other's floods.
+func areqKey(m *wire.AREQ) uint32 {
+	return m.Seq ^ uint32(m.Ch) ^ uint32(m.Ch>>32)
+}
+
+func (n *Node) handleAREQ(pkt *wire.Packet, m *wire.AREQ) {
+	if n.areqSeen.Seen(m.SIP, areqKey(m)) {
+		return
+	}
+	n.met.Add1("rx.AREQ")
+
+	// A configured owner of the probed address objects and stops the flood
+	// here: the requester must pick a new address anyway.
+	if n.configured && m.SIP == n.ident.Addr {
+		n.met.Add1("dad.objections_sent")
+		arep := ndp.BuildAREP(n.ident, m.SIP, m.Ch, m.RR)
+		n.met.Add1("crypto.sign")
+		n.sendToUnconfigured(m.RR, m.SIP, arep)
+		if m.DN != "" && n.dns == nil {
+			// Warn the DNS so the conflicting name registration is not
+			// committed. Routes may not exist during bootstrap, so this
+			// travels as a flood addressed to the DNS anycast.
+			n.floodToDNS(arep)
+		}
+		return
+	}
+
+	// The DNS server checks the domain-name side (6DNAR).
+	if n.dns != nil {
+		if drep := n.dns.HandleAREQ(m); drep != nil {
+			n.met.Add1("crypto.sign") // the server signed the DREP
+			n.sendToUnconfigured(m.RR, m.SIP, drep)
+		}
+	}
+
+	// Relay the flood with this node appended to the route record.
+	// Unconfigured nodes cannot appear in a route record and stay silent.
+	if !n.configured || pkt.TTL <= 1 || len(m.RR) >= 250 {
+		return
+	}
+	fwd := *m
+	fwd.RR = append(append([]ipv6.Addr(nil), m.RR...), n.ident.Addr)
+	n.broadcastPacket(&wire.Packet{Src: pkt.Src, Dst: ipv6.AllNodes, TTL: pkt.TTL - 1, Msg: &fwd})
+}
+
+// sendToUnconfigured source-routes a reply along the reverse of the AREQ's
+// route record toward a host that may not own its address yet (final hop
+// broadcast).
+func (n *Node) sendToUnconfigured(rr []ipv6.Addr, dst ipv6.Addr, msg wire.Message) {
+	pkt := &wire.Packet{Src: n.ident.Addr, Dst: dst, TTL: n.cfg.TTL, SrcRoute: reverse(rr), Msg: msg}
+	n.sendSourceRouted(pkt, nil)
+}
+
+// floodToDNS broadcasts a control message addressed to the DNS anycast;
+// every configured node re-floods it (content-hash dedup) until the DNS
+// consumes it. This is the bootstrap-safe path used before routes exist.
+func (n *Node) floodToDNS(msg wire.Message) {
+	pkt := &wire.Packet{Src: n.ident.Addr, Dst: ipv6.DNS1, TTL: n.cfg.TTL, Msg: msg}
+	raw := wire.Encode(pkt)
+	n.dnsFloods.Seen(pkt.Src, contentKey(raw))
+	n.account(pkt, len(raw))
+	n.medium.Broadcast(n.link, raw)
+}
+
+func (n *Node) handleDNSFlood(pkt *wire.Packet, raw []byte) {
+	if n.dnsFloods.Seen(pkt.Src, contentKey(raw)) {
+		return
+	}
+	if n.dns != nil {
+		if m, ok := pkt.Msg.(*wire.AREP); ok {
+			n.met.Add1("crypto.verify") // server validates the warn
+			if n.dns.HandleWarnAREP(m) {
+				n.met.Add1("dns.warns_accepted")
+			}
+		}
+		return
+	}
+	if !n.configured || pkt.TTL <= 1 {
+		return
+	}
+	fwd := *pkt
+	fwd.TTL--
+	n.broadcastPacket(&fwd)
+}
+
+func (n *Node) handleAREP(pkt *wire.Packet, m *wire.AREP) {
+	n.met.Add1("rx.AREP")
+	if n.autoconf.State() != ndp.StateProbing {
+		return
+	}
+	n.met.Add1("crypto.verify")
+	if err := n.autoconf.HandleAREP(m); err != nil {
+		n.met.Add1("dad.arep_rejected")
+		return
+	}
+	n.met.Add1("dad.arep_accepted")
+}
+
+func (n *Node) handleDREP(pkt *wire.Packet, m *wire.DREP) {
+	n.met.Add1("rx.DREP")
+	if n.autoconf.State() != ndp.StateProbing {
+		return
+	}
+	n.met.Add1("crypto.verify")
+	if err := n.autoconf.HandleDREP(m); err != nil {
+		n.met.Add1("dad.drep_rejected")
+		return
+	}
+	n.met.Add1("dad.drep_accepted")
+}

@@ -1,0 +1,533 @@
+// Package core implements the paper's contribution: a MANET node stack that
+// bootstraps securely (CGA address autoconfiguration with extended DAD and
+// 6DNAR registration, Section 3.1), offers secure DNS services (Section
+// 3.2), discovers routes with per-hop identity attestations derived from
+// DSR (Section 3.3), and maintains routes with signed RERRs, credit
+// management and black-hole probing (Section 3.4).
+//
+// The same Node runs the insecure DSR baseline when Config.Secure is false:
+// signature fields stay empty and no verification happens, which is exactly
+// the comparison surface the attack experiments measure.
+package core
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"sbr6/internal/credit"
+	"sbr6/internal/dnssrv"
+	"sbr6/internal/dsr"
+	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
+	"sbr6/internal/ndp"
+	"sbr6/internal/radio"
+	"sbr6/internal/sim"
+	"sbr6/internal/trace"
+	"sbr6/internal/wire"
+)
+
+// Config selects protocol variant and timing.
+type Config struct {
+	// Secure enables the paper's protocol; false runs plain DSR.
+	Secure bool
+	// UseCredits enables the credit mechanism of Section 3.4.
+	UseCredits bool
+	// UseCache lets intermediates answer RREQs with CREPs and sources
+	// reuse cached routes.
+	UseCache bool
+	// ProbeOnLoss enables black-hole probing after repeated silent losses.
+	ProbeOnLoss bool
+	// Salvage lets a relay that hits a broken link re-route in-flight data
+	// over its own cached route (DSR packet salvaging) instead of just
+	// reporting the error.
+	Salvage bool
+	// MaxSalvage bounds how often one packet may be salvaged.
+	MaxSalvage uint8
+
+	Suite  identity.Suite
+	DAD    ndp.Config
+	Credit credit.Config
+
+	RouteTTL         time.Duration // cache entry lifetime
+	DiscoveryTimeout time.Duration // per-attempt RREQ wait
+	DiscoveryRetries int
+	AckTimeout       time.Duration // end-to-end ack wait before counting a loss
+	ResolveTimeout   time.Duration // DNS query wait
+	TTL              uint8         // flood / forwarding hop limit
+
+	// LossStreak is how many consecutive unacknowledged packets to one
+	// destination trigger a probe of the route.
+	LossStreak int
+	// RERRWindow and RERRThreshold flag a host reporting more than
+	// RERRThreshold route errors within RERRWindow as a suspected spammer.
+	RERRWindow    time.Duration
+	RERRThreshold int
+}
+
+// DefaultConfig returns the secure protocol with every defense enabled.
+func DefaultConfig() Config {
+	return Config{
+		Secure:           true,
+		UseCredits:       true,
+		UseCache:         true,
+		ProbeOnLoss:      true,
+		Salvage:          true,
+		MaxSalvage:       1,
+		Suite:            identity.SuiteEd25519,
+		DAD:              ndp.DefaultConfig(),
+		Credit:           credit.DefaultConfig(),
+		RouteTTL:         30 * time.Second,
+		DiscoveryTimeout: 2 * time.Second,
+		DiscoveryRetries: 2,
+		AckTimeout:       1500 * time.Millisecond,
+		ResolveTimeout:   4 * time.Second,
+		TTL:              32,
+		LossStreak:       2,
+		RERRWindow:       30 * time.Second,
+		RERRThreshold:    4,
+	}
+}
+
+// BaselineConfig returns plain DSR with no defenses, the comparison point.
+func BaselineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Secure = false
+	cfg.UseCredits = false
+	cfg.ProbeOnLoss = false
+	return cfg
+}
+
+// Behavior lets the attack package hook a node's pipeline. A nil Behavior
+// is an honest node.
+type Behavior interface {
+	// Intercept sees every received packet before normal processing and
+	// may consume it by returning true.
+	Intercept(n *Node, pkt *wire.Packet, raw []byte) bool
+	// DropForward reports whether to silently drop a unicast this node was
+	// asked to relay (the black-hole primitive).
+	DropForward(n *Node, pkt *wire.Packet) bool
+}
+
+// Node is one MANET host.
+type Node struct {
+	sim    *sim.Simulator
+	medium *radio.Medium
+	link   radio.NodeID
+	ident  *identity.Identity
+	dnsPub identity.PublicKey
+	cfg    Config
+	rng    *rand.Rand
+	met    *trace.Metrics
+
+	dns *dnssrv.Server // non-nil only on the DNS node
+
+	autoconf   *ndp.Initiator
+	configured bool
+
+	neighbors map[ipv6.Addr]radio.NodeID
+
+	areqSeen  *ndp.FloodCache
+	rreqSeen  *ndp.FloodCache
+	dnsFloods *ndp.FloodCache // content-hash dedup for flood-routed DNS control
+
+	routes  *dsr.Cache
+	credits *credit.Table
+	rreqSeq uint32
+
+	pending     map[ipv6.Addr]*discovery
+	outstanding map[ackKey]*sentData
+	lossStreak  map[ipv6.Addr]int
+	probes      map[ipv6.Addr]*probeState
+	rerrTimes   map[ipv6.Addr][]sim.Time
+
+	resolves map[string]*resolveState
+	rebind   *rebindState
+	// aliases maps an anycast address (the DNS discovery addresses) to the
+	// real, CGA-verifiable address learned from the RREP that answered a
+	// discovery for the alias.
+	aliases map[ipv6.Addr]ipv6.Addr
+
+	nextFlow uint32
+	dataSeq  uint32
+
+	// Behavior, when non-nil, makes the node adversarial.
+	Behavior Behavior
+	// OnData is invoked for every application payload delivered to this
+	// node as the final destination.
+	OnData func(src ipv6.Addr, d *wire.Data)
+	// OnConfigured is invoked once secure DAD completes.
+	OnConfigured func()
+}
+
+type ackKey struct {
+	flow uint32
+	seq  uint32
+}
+
+type sentData struct {
+	dst    ipv6.Addr
+	relays []ipv6.Addr
+	timer  *sim.Timer
+}
+
+type discovery struct {
+	seq     uint32
+	retries int
+	timer   *sim.Timer
+	waiters []func(route dsr.Route, ok bool)
+}
+
+type probeState struct {
+	relays []ipv6.Addr
+	acked  []bool
+	flows  map[uint32]int // probe flow id -> relay index
+}
+
+type resolveState struct {
+	ch    uint64
+	timer *sim.Timer
+	cb    func(ipv6.Addr, bool)
+}
+
+type rebindState struct {
+	oldIP ipv6.Addr
+	oldRn uint64
+	ch    uint64
+	timer *sim.Timer
+	cb    func(ok bool)
+}
+
+// New creates a node. The caller attaches it to the medium (the scenario
+// owns positions): medium.AddNode(link, track.Position, node).
+func New(s *sim.Simulator, medium *radio.Medium, link radio.NodeID, ident *identity.Identity,
+	dnsPub identity.PublicKey, cfg Config, rng *rand.Rand, met *trace.Metrics) *Node {
+	if met == nil {
+		met = trace.NewMetrics()
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 32
+	}
+	n := &Node{
+		sim: s, medium: medium, link: link, ident: ident, dnsPub: dnsPub,
+		cfg: cfg, rng: rng, met: met,
+		neighbors:   make(map[ipv6.Addr]radio.NodeID),
+		areqSeen:    ndp.NewFloodCache(4096),
+		rreqSeen:    ndp.NewFloodCache(4096),
+		dnsFloods:   ndp.NewFloodCache(4096),
+		routes:      dsr.NewCache(ident.Addr, sim.Duration(cfg.RouteTTL), 3),
+		credits:     credit.New(cfg.Credit),
+		pending:     make(map[ipv6.Addr]*discovery),
+		outstanding: make(map[ackKey]*sentData),
+		lossStreak:  make(map[ipv6.Addr]int),
+		probes:      make(map[ipv6.Addr]*probeState),
+		rerrTimes:   make(map[ipv6.Addr][]sim.Time),
+		resolves:    make(map[string]*resolveState),
+		aliases:     make(map[ipv6.Addr]ipv6.Addr),
+	}
+	n.autoconf = ndp.NewInitiator(s, rng, ident, dnsPub, cfg.DAD)
+	n.autoconf.SendAREQ = n.sendAREQ
+	n.autoconf.OnConfigured = n.dadDone
+	n.autoconf.Rename = func(old string) string { return old + "-r" }
+	return n
+}
+
+// AttachDNS makes this node the MANET's DNS server; it then also owns the
+// well-known anycast address ipv6.DNS1.
+func (n *Node) AttachDNS(srv *dnssrv.Server) { n.dns = srv }
+
+// Accessors used by scenarios, examples and the attack package.
+
+// Addr returns the node's current (possibly tentative) address.
+func (n *Node) Addr() ipv6.Addr { return n.ident.Addr }
+
+// Name returns the node's domain name ("" when none).
+func (n *Node) Name() string { return n.ident.Name }
+
+// Identity exposes the node's cryptographic identity.
+func (n *Node) Identity() *identity.Identity { return n.ident }
+
+// Configured reports whether secure DAD has completed.
+func (n *Node) Configured() bool { return n.configured }
+
+// Metrics returns the node's counters.
+func (n *Node) Metrics() *trace.Metrics { return n.met }
+
+// Credits returns the node's credit table.
+func (n *Node) Credits() *credit.Table { return n.credits }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Sim returns the simulator driving the node.
+func (n *Node) Sim() *sim.Simulator { return n.sim }
+
+// Rand returns the node's random source.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// DNS returns the attached DNS server, or nil.
+func (n *Node) DNS() *dnssrv.Server { return n.dns }
+
+// LinkID returns the node's radio identifier.
+func (n *Node) LinkID() radio.NodeID { return n.link }
+
+// RouteTo reports the relays of the best cached route to dst.
+func (n *Node) RouteTo(dst ipv6.Addr) ([]ipv6.Addr, bool) {
+	r, ok := n.routes.Best(dst, n.sim.Now(), n.routeScore())
+	if !ok {
+		return nil, false
+	}
+	return r.Relays, true
+}
+
+// Start begins the node's life: secure duplicate address detection, then —
+// once configured — normal operation.
+func (n *Node) Start() { n.autoconf.Start() }
+
+// StartConfigured skips DAD (scripted experiments that pre-assign
+// identities use this).
+func (n *Node) StartConfigured() {
+	n.configured = true
+	n.routes.SetOwner(n.ident.Addr)
+}
+
+// DADState exposes the autoconfiguration state for tests and reports.
+func (n *Node) DADState() ndp.State { return n.autoconf.State() }
+
+// DADLatency reports how long DAD took once configured.
+func (n *Node) DADLatency() time.Duration { return n.autoconf.Duration }
+
+func (n *Node) dadDone() {
+	n.configured = true
+	n.routes.SetOwner(n.ident.Addr)
+	n.met.Observe("dad.latency_s", n.autoconf.Duration.Seconds())
+	if n.OnConfigured != nil {
+		n.OnConfigured()
+	}
+}
+
+func (n *Node) ownsAddr(a ipv6.Addr) bool {
+	if a == n.ident.Addr {
+		return true
+	}
+	return n.dns != nil && (a == ipv6.DNS1 || a == ipv6.DNS2 || a == ipv6.DNS3)
+}
+
+// ownAddrForDiscovery maps an alias the node answers for to its real
+// address (RREPs must carry the CGA-verifiable address).
+func (n *Node) sign(msg []byte) []byte {
+	n.met.Add1("crypto.sign")
+	return n.ident.Sign(msg)
+}
+
+func (n *Node) verify(pk identity.PublicKey, msg, sig []byte) bool {
+	n.met.Add1("crypto.verify")
+	return pk.Verify(msg, sig)
+}
+
+// --- Receive path ---
+
+// Deliver implements radio.Handler.
+func (n *Node) Deliver(from radio.NodeID, payload []byte) {
+	pkt, err := wire.Decode(payload)
+	if err != nil {
+		n.met.Add1("rx.malformed")
+		return
+	}
+	n.met.Add1("rx.frames")
+	if prev, ok := transmitterIP(pkt); ok {
+		n.neighbors[prev] = from
+	}
+	if n.Behavior != nil && n.Behavior.Intercept(n, pkt, payload) {
+		return
+	}
+	n.dispatch(pkt, payload)
+}
+
+func (n *Node) dispatch(pkt *wire.Packet, raw []byte) {
+	// Flood-routed DNS control (warn-AREPs before routes exist).
+	if pkt.Dst == ipv6.DNS1 && len(pkt.SrcRoute) == 0 {
+		n.handleDNSFlood(pkt, raw)
+		return
+	}
+	switch m := pkt.Msg.(type) {
+	case *wire.AREQ:
+		n.handleAREQ(pkt, m)
+	case *wire.RREQ:
+		n.handleRREQ(pkt, m)
+	default:
+		n.handleSourceRouted(pkt)
+	}
+}
+
+// transmitterIP infers the link-layer transmitter's IP address from the
+// packet, standing in for NDP link-layer address resolution: flooded
+// requests name the transmitter as the last route-record entry (or the
+// origin), source-routed packets as the hop before the current index.
+func transmitterIP(pkt *wire.Packet) (ipv6.Addr, bool) {
+	switch m := pkt.Msg.(type) {
+	case *wire.AREQ:
+		if len(m.RR) > 0 {
+			return m.RR[len(m.RR)-1], true
+		}
+		return pkt.Src, true
+	case *wire.RREQ:
+		if len(m.SRR) > 0 {
+			return m.SRR[len(m.SRR)-1].IP, true
+		}
+		return pkt.Src, true
+	default:
+		if pkt.Hop == 0 {
+			return pkt.Src, true
+		}
+		if int(pkt.Hop) <= len(pkt.SrcRoute) {
+			return pkt.SrcRoute[pkt.Hop-1], true
+		}
+		return ipv6.Addr{}, false
+	}
+}
+
+// handleSourceRouted processes unicast packets: relay when this node is the
+// current hop, consume when it is the destination.
+func (n *Node) handleSourceRouted(pkt *wire.Packet) {
+	if int(pkt.Hop) < len(pkt.SrcRoute) {
+		if pkt.SrcRoute[pkt.Hop] == n.ident.Addr {
+			n.forwardUnicast(pkt)
+		}
+		return
+	}
+	if n.ownsAddr(pkt.Dst) {
+		n.consume(pkt)
+	}
+}
+
+func (n *Node) consume(pkt *wire.Packet) {
+	switch m := pkt.Msg.(type) {
+	case *wire.AREP:
+		n.handleAREP(pkt, m)
+	case *wire.DREP:
+		n.handleDREP(pkt, m)
+	case *wire.RREP:
+		n.handleRREP(pkt, m)
+	case *wire.CREP:
+		n.handleCREP(pkt, m)
+	case *wire.RERR:
+		n.handleRERR(pkt, m)
+	case *wire.Data:
+		n.handleData(pkt, m)
+	case *wire.Ack:
+		n.handleAck(pkt, m)
+	case *wire.DNSQuery:
+		n.handleDNSQuery(pkt, m)
+	case *wire.DNSAnswer:
+		n.handleDNSAnswer(pkt, m)
+	case *wire.UpdateReq:
+		n.handleUpdateReq(pkt, m)
+	case *wire.UpdateChal:
+		n.handleUpdateChal(pkt, m)
+	case *wire.Update:
+		n.handleUpdate(pkt, m)
+	case *wire.UpdateResult:
+		n.handleUpdateResult(pkt, m)
+	default:
+		n.met.Add1("rx.unhandled")
+	}
+}
+
+// --- Transmit primitives ---
+
+func (n *Node) account(pkt *wire.Packet, size int) {
+	n.met.Add1("tx." + pkt.Msg.Type().String())
+	switch pkt.Msg.(type) {
+	case *wire.Data:
+		n.met.Inc("tx.bytes.data", float64(size))
+	default:
+		n.met.Inc("tx.bytes.control", float64(size))
+	}
+	n.met.Inc("tx.bytes.total", float64(size))
+}
+
+// broadcastPacket encodes and broadcasts a packet frame.
+func (n *Node) broadcastPacket(pkt *wire.Packet) {
+	raw := wire.Encode(pkt)
+	n.account(pkt, len(raw))
+	n.medium.Broadcast(n.link, raw)
+}
+
+// RawBroadcast transmits pre-encoded bytes unmodified; the replay attacker
+// uses it to retransmit captured frames.
+func (n *Node) RawBroadcast(raw []byte) {
+	n.met.Inc("tx.bytes.total", float64(len(raw)))
+	n.met.Add1("tx.raw")
+	n.medium.Broadcast(n.link, raw)
+}
+
+// Flood broadcasts msg network-wide from this node.
+func (n *Node) Flood(msg wire.Message, ttl uint8) {
+	n.broadcastPacket(&wire.Packet{Src: n.ident.Addr, Dst: ipv6.AllNodes, TTL: ttl, Msg: msg})
+}
+
+// SendAlong source-routes msg to dst via the given relays.
+func (n *Node) SendAlong(relays []ipv6.Addr, dst ipv6.Addr, msg wire.Message) {
+	pkt := &wire.Packet{Src: n.ident.Addr, Dst: dst, TTL: n.cfg.TTL, SrcRoute: relays, Msg: msg}
+	n.sendSourceRouted(pkt, nil)
+}
+
+// lastHopBroadcast reports whether the final hop toward dst must be
+// broadcast because the destination may not hold a usable address yet
+// (the paper's footnote on AREP delivery; DREPs share the constraint).
+func lastHopBroadcast(msg wire.Message) bool {
+	switch msg.(type) {
+	case *wire.AREP, *wire.DREP:
+		return true
+	default:
+		return false
+	}
+}
+
+// sendSourceRouted transmits pkt toward its next hop. onFail, if non-nil,
+// is invoked with the next-hop address when the link-layer reports no
+// delivery (out of range, down, lost) or when the neighbour cannot be
+// resolved.
+func (n *Node) sendSourceRouted(pkt *wire.Packet, onFail func(next ipv6.Addr)) {
+	next, ok := pkt.NextHop()
+	if !ok {
+		n.met.Add1("tx.route_exhausted")
+		return
+	}
+	raw := wire.Encode(pkt)
+	n.account(pkt, len(raw))
+	if next == pkt.Dst && lastHopBroadcast(pkt.Msg) {
+		n.medium.Broadcast(n.link, raw)
+		return
+	}
+	nid, known := n.neighbors[next]
+	if !known {
+		n.met.Add1("tx.no_neighbor")
+		if onFail != nil {
+			onFail(next)
+		}
+		return
+	}
+	n.medium.Unicast(n.link, nid, raw, func(acked bool) {
+		if !acked && onFail != nil {
+			onFail(next)
+		}
+	})
+}
+
+// reverse returns a reversed copy of a route record.
+func reverse(rr []ipv6.Addr) []ipv6.Addr {
+	out := make([]ipv6.Addr, len(rr))
+	for i, a := range rr {
+		out[len(rr)-1-i] = a
+	}
+	return out
+}
+
+// contentKey hashes raw frame bytes for flood dedup of unsequenced control.
+func contentKey(raw []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(raw)
+	return h.Sum32()
+}

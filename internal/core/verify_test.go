@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbr6/internal/dnssrv"
+	"sbr6/internal/geom"
+	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
+	"sbr6/internal/radio"
+	"sbr6/internal/sim"
+	"sbr6/internal/wire"
+)
+
+// White-box tests of the Section 3.3 verification procedure: each check of
+// verifySRR must individually reject a tampered route request.
+
+// verifier builds a standalone configured node plus a set of honest
+// identities to construct route records from.
+func newVerifier(t *testing.T) (*Node, []*identity.Identity) {
+	t.Helper()
+	s := sim.New(1)
+	medium := radio.New(s, radio.DefaultConfig())
+	dnsIdent, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(1)), "dns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(2)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(s, medium, 0, ident, dnsIdent.Pub, DefaultConfig(), rand.New(rand.NewSource(3)), nil)
+	medium.AddNode(0, func(sim.Time) geom.Point { return geom.Point{} }, n)
+	n.StartConfigured()
+	n.AttachDNS(dnssrv.New(s, rand.New(rand.NewSource(4)), dnsIdent, dnssrv.DefaultConfig(), nil))
+
+	var ids []*identity.Identity
+	for i := 0; i < 4; i++ {
+		id, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(10+int64(i))), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return n, ids
+}
+
+// honestRREQ builds a fully signed route request from src through hops.
+func honestRREQ(src *identity.Identity, hops []*identity.Identity, seq uint32) *wire.RREQ {
+	m := &wire.RREQ{
+		SIP:    src.Addr,
+		DIP:    src.Addr.WithInterfaceID(0x9999),
+		Seq:    seq,
+		SrcSig: src.Sign(wire.SigRREQSource(src.Addr, seq)),
+		SPK:    src.Pub.Bytes(),
+		Srn:    src.Rn,
+	}
+	for _, h := range hops {
+		m.SRR = append(m.SRR, wire.HopAttestation{
+			IP:  h.Addr,
+			Sig: h.Sign(wire.SigHop(h.Addr, seq)),
+			PK:  h.Pub.Bytes(),
+			Rn:  h.Rn,
+		})
+	}
+	return m
+}
+
+func TestVerifySRRAcceptsHonestRequest(t *testing.T) {
+	n, ids := newVerifier(t)
+	m := honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 7)
+	if err := n.verifySRR(m); err != nil {
+		t.Fatalf("honest SRR rejected: %v", err)
+	}
+	// Zero hops is also valid (source is a neighbour).
+	if err := n.verifySRR(honestRREQ(ids[0], nil, 8)); err != nil {
+		t.Fatalf("0-hop SRR rejected: %v", err)
+	}
+}
+
+func TestVerifySRRRejectsTamperedSource(t *testing.T) {
+	n, ids := newVerifier(t)
+
+	// Wrong source key (CGA mismatch).
+	m := honestRREQ(ids[0], nil, 1)
+	m.SPK = ids[1].Pub.Bytes()
+	if n.verifySRR(m) == nil {
+		t.Fatal("source with mismatched key accepted")
+	}
+
+	// Wrong modifier.
+	m = honestRREQ(ids[0], nil, 2)
+	m.Srn++
+	if n.verifySRR(m) == nil {
+		t.Fatal("source with mismatched modifier accepted")
+	}
+
+	// Signature over a different sequence number (replay into new flood).
+	m = honestRREQ(ids[0], nil, 3)
+	m.Seq = 4
+	if n.verifySRR(m) == nil {
+		t.Fatal("stale source signature accepted")
+	}
+
+	// Garbage key bytes.
+	m = honestRREQ(ids[0], nil, 5)
+	m.SPK = []byte("not a key")
+	if n.verifySRR(m) == nil {
+		t.Fatal("garbage source key accepted")
+	}
+}
+
+func TestVerifySRRRejectsTamperedHop(t *testing.T) {
+	n, ids := newVerifier(t)
+	mk := func(seq uint32) *wire.RREQ {
+		return honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, seq)
+	}
+
+	// A hop's address swapped for another (route falsification).
+	m := mk(1)
+	m.SRR[0].IP = ids[3].Addr
+	if n.verifySRR(m) == nil {
+		t.Fatal("swapped hop address accepted")
+	}
+
+	// A hop attestation copied from a different flood (stale seq).
+	m = mk(2)
+	m.SRR[1].Sig = ids[2].Sign(wire.SigHop(ids[2].Addr, 999))
+	if n.verifySRR(m) == nil {
+		t.Fatal("stale hop attestation accepted")
+	}
+
+	// A hop inserted without any key at all (baseline-style bare entry).
+	m = mk(3)
+	m.SRR = append(m.SRR, wire.HopAttestation{IP: ids[3].Addr})
+	if n.verifySRR(m) == nil {
+		t.Fatal("bare hop entry accepted by the secure verifier")
+	}
+
+	// An entire hop forged by the source (it cannot sign for ids[1]).
+	m = mk(4)
+	m.SRR[0].Sig = ids[0].Sign(wire.SigHop(ids[1].Addr, 4))
+	if n.verifySRR(m) == nil {
+		t.Fatal("hop signed by the wrong key accepted")
+	}
+}
+
+func TestVerifySRRRejectsRemovedHop(t *testing.T) {
+	// Removing a hop does NOT invalidate other attestations (each covers
+	// only itself + seq) — this matches the paper: the destination can
+	// verify who is listed, not that nobody was dropped. What the check
+	// DOES guarantee is that all listed identities are real. Dropping a
+	// relay yields a route that simply fails at forwarding time.
+	n, ids := newVerifier(t)
+	m := honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 1)
+	m.SRR = m.SRR[1:] // drop the first relay
+	if err := n.verifySRR(m); err != nil {
+		t.Fatalf("shortened-but-authentic SRR rejected: %v", err)
+	}
+}
+
+func TestHopAttestationModes(t *testing.T) {
+	n, _ := newVerifier(t)
+	h := n.hopAttestation(42)
+	if len(h.Sig) == 0 || len(h.PK) == 0 {
+		t.Fatal("secure mode must sign hop attestations")
+	}
+	if h.IP != n.Addr() {
+		t.Fatal("attestation for wrong address")
+	}
+
+	// Baseline node leaves crypto fields empty.
+	s := sim.New(2)
+	medium := radio.New(s, radio.DefaultConfig())
+	ident, _ := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(5)), "")
+	base := New(s, medium, 1, ident, nil, BaselineConfig(), rand.New(rand.NewSource(6)), nil)
+	medium.AddNode(1, func(sim.Time) geom.Point { return geom.Point{} }, base)
+	base.StartConfigured()
+	hb := base.hopAttestation(42)
+	if len(hb.Sig) != 0 || len(hb.PK) != 0 {
+		t.Fatal("baseline mode must not sign")
+	}
+}
+
+func TestCREPLoopGuards(t *testing.T) {
+	a := func(i uint64) ipv6.Addr { return ipv6.SiteLocal(0, i) }
+	holder := a(10)
+
+	mkRREQ := func(sip, dip ipv6.Addr, hops ...ipv6.Addr) *wire.RREQ {
+		m := &wire.RREQ{SIP: sip, DIP: dip}
+		for _, h := range hops {
+			m.SRR = append(m.SRR, wire.HopAttestation{IP: h})
+		}
+		return m
+	}
+
+	cases := []struct {
+		name   string
+		m      *wire.RREQ
+		cached []ipv6.Addr
+		loop   bool
+	}{
+		{"clean", mkRREQ(a(1), a(9), a(2)), []ipv6.Addr{a(3)}, false},
+		{"querier on cached path", mkRREQ(a(1), a(9), a(2)), []ipv6.Addr{a(1)}, true},
+		{"request hop on cached path", mkRREQ(a(1), a(9), a(2)), []ipv6.Addr{a(2)}, true},
+		{"holder in request hops", mkRREQ(a(1), a(9), holder), nil, true},
+		{"destination in cached relays", mkRREQ(a(1), a(9)), []ipv6.Addr{a(9)}, true},
+		{"querier is destination", mkRREQ(a(1), a(1)), nil, true},
+		{"duplicate within request", mkRREQ(a(1), a(9), a(2), a(2)), nil, true},
+	}
+	for _, tc := range cases {
+		if got := crepWouldLoop(tc.m, holder, tc.cached); got != tc.loop {
+			t.Errorf("%s: crepWouldLoop = %v, want %v", tc.name, got, tc.loop)
+		}
+	}
+
+	if hasDuplicateHop(a(1), []ipv6.Addr{a(2), a(3)}, a(4)) {
+		t.Error("clean path flagged as looping")
+	}
+	if !hasDuplicateHop(a(1), []ipv6.Addr{a(2), a(1)}, a(4)) {
+		t.Error("source revisit not flagged")
+	}
+	if !hasDuplicateHop(a(1), []ipv6.Addr{a(2), a(4)}, a(4)) {
+		t.Error("destination revisit not flagged")
+	}
+	if !hasDuplicateHop(a(1), []ipv6.Addr{a(2), a(2)}, a(4)) {
+		t.Error("relay revisit not flagged")
+	}
+	if !hasDuplicateHop(a(1), nil, a(1)) {
+		t.Error("src==dst not flagged")
+	}
+}
+
+func TestVerifyCountsCryptoOps(t *testing.T) {
+	n, ids := newVerifier(t)
+	before := n.Metrics().Get("crypto.verify")
+	m := honestRREQ(ids[0], []*identity.Identity{ids[1]}, 6)
+	if err := n.verifySRR(m); err != nil {
+		t.Fatal(err)
+	}
+	// Source + one hop = two signature verifications.
+	if got := n.Metrics().Get("crypto.verify") - before; got != 2 {
+		t.Fatalf("crypto.verify delta = %v, want 2", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package credit implements the paper's credit management (Section 3.4):
+// every source keeps a per-host reliability score for the relays it has
+// used. Each end-to-end acknowledged data packet earns every relay on the
+// route one credit; detected misbehaviour costs a large penalty; hosts never
+// seen before start low, which is exactly what defeats the identity-churn
+// attack — a fresh CGA address resets the attacker to the bottom of the
+// trust scale.
+package credit
+
+import (
+	"sort"
+
+	"sbr6/internal/ipv6"
+)
+
+// Config tunes the credit dynamics.
+type Config struct {
+	// Initial is the score assigned to a never-seen host ("a new node
+	// should be given a low credit").
+	Initial float64
+	// Reward is added to every relay on a route when the destination's
+	// acknowledgement arrives.
+	Reward float64
+	// Penalty is subtracted on detected misbehaviour ("decreased by a very
+	// large amount").
+	Penalty float64
+	// Floor bounds scores from below so one penalty cannot underflow into
+	// meaninglessness.
+	Floor float64
+}
+
+// DefaultConfig mirrors the paper's qualitative guidance.
+func DefaultConfig() Config {
+	return Config{Initial: 1, Reward: 1, Penalty: 100, Floor: -100}
+}
+
+// Table is one node's view of its peers' reliability. It is not safe for
+// concurrent use; each simulated node owns one.
+type Table struct {
+	cfg    Config
+	scores map[ipv6.Addr]float64
+}
+
+// New returns an empty table.
+func New(cfg Config) *Table {
+	return &Table{cfg: cfg, scores: make(map[ipv6.Addr]float64)}
+}
+
+// Get returns the host's score, or Initial for unknown hosts.
+func (t *Table) Get(a ipv6.Addr) float64 {
+	if s, ok := t.scores[a]; ok {
+		return s
+	}
+	return t.cfg.Initial
+}
+
+// Known reports whether the host has any history.
+func (t *Table) Known(a ipv6.Addr) bool {
+	_, ok := t.scores[a]
+	return ok
+}
+
+// Len reports how many hosts have history.
+func (t *Table) Len() int { return len(t.scores) }
+
+// Reward credits every relay on an acknowledged route.
+func (t *Table) Reward(route []ipv6.Addr) {
+	for _, a := range route {
+		t.scores[a] = t.Get(a) + t.cfg.Reward
+	}
+}
+
+// Punish applies the misbehaviour penalty to a single host.
+func (t *Table) Punish(a ipv6.Addr) {
+	s := t.Get(a) - t.cfg.Penalty
+	if s < t.cfg.Floor {
+		s = t.cfg.Floor
+	}
+	t.scores[a] = s
+}
+
+// RouteScore scores a candidate route as the minimum credit over its
+// relays: a chain is as trustworthy as its least trusted hop. An empty
+// route (single-hop to the destination) scores +Inf conceptually; we return
+// a value above any achievable credit instead to keep arithmetic simple.
+func (t *Table) RouteScore(route []ipv6.Addr) float64 {
+	if len(route) == 0 {
+		return 1e18
+	}
+	min := t.Get(route[0])
+	for _, a := range route[1:] {
+		if s := t.Get(a); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Best returns the index of the highest-scoring route, breaking ties toward
+// the shorter route and then the earlier index (deterministic selection).
+func (t *Table) Best(routes [][]ipv6.Addr) int {
+	if len(routes) == 0 {
+		return -1
+	}
+	best := 0
+	bestScore := t.RouteScore(routes[0])
+	for i := 1; i < len(routes); i++ {
+		s := t.RouteScore(routes[i])
+		switch {
+		case s > bestScore:
+			best, bestScore = i, s
+		case s == bestScore && len(routes[i]) < len(routes[best]):
+			best = i
+		}
+	}
+	return best
+}
+
+// Snapshot returns scored hosts sorted by address, for reports.
+func (t *Table) Snapshot() []Entry {
+	out := make([]Entry, 0, len(t.scores))
+	for a, s := range t.scores {
+		out = append(out, Entry{Addr: a, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return ipv6.Compare(out[i].Addr, out[j].Addr) < 0 })
+	return out
+}
+
+// Entry is one host's score in a Snapshot.
+type Entry struct {
+	Addr  ipv6.Addr
+	Score float64
+}

@@ -1,0 +1,152 @@
+package credit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sbr6/internal/ipv6"
+)
+
+func addr(i uint64) ipv6.Addr { return ipv6.SiteLocal(0, i) }
+
+func TestUnknownHostGetsInitial(t *testing.T) {
+	tb := New(DefaultConfig())
+	if got := tb.Get(addr(1)); got != 1 {
+		t.Fatalf("Get(unknown) = %v, want initial 1", got)
+	}
+	if tb.Known(addr(1)) {
+		t.Fatal("Get must not create history")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("table should be empty")
+	}
+}
+
+func TestRewardAccumulates(t *testing.T) {
+	tb := New(DefaultConfig())
+	route := []ipv6.Addr{addr(1), addr(2)}
+	for i := 0; i < 5; i++ {
+		tb.Reward(route)
+	}
+	if tb.Get(addr(1)) != 6 || tb.Get(addr(2)) != 6 {
+		t.Fatalf("scores = %v, %v; want 6 (initial 1 + 5 rewards)", tb.Get(addr(1)), tb.Get(addr(2)))
+	}
+	if !tb.Known(addr(1)) || tb.Len() != 2 {
+		t.Fatal("reward must create history")
+	}
+}
+
+func TestPunishIsLargeAndFloored(t *testing.T) {
+	tb := New(DefaultConfig())
+	tb.Reward([]ipv6.Addr{addr(1)})
+	tb.Punish(addr(1))
+	if got := tb.Get(addr(1)); got != 2-100 {
+		t.Fatalf("after punish = %v, want -98", got)
+	}
+	for i := 0; i < 10; i++ {
+		tb.Punish(addr(1))
+	}
+	if got := tb.Get(addr(1)); got != -100 {
+		t.Fatalf("floor not applied: %v", got)
+	}
+}
+
+func TestRouteScoreIsMinOverRelays(t *testing.T) {
+	tb := New(DefaultConfig())
+	tb.Reward([]ipv6.Addr{addr(1)})
+	tb.Reward([]ipv6.Addr{addr(1)})
+	tb.Punish(addr(2))
+	route := []ipv6.Addr{addr(1), addr(2), addr(3)}
+	// addr(1)=3, addr(2)=-99, addr(3)=1 -> min is -99.
+	if got := tb.RouteScore(route); got != -99 {
+		t.Fatalf("RouteScore = %v, want -99", got)
+	}
+	if got := tb.RouteScore(nil); got < 1e17 {
+		t.Fatalf("empty route should score maximal, got %v", got)
+	}
+}
+
+func TestBestPrefersHighCreditThenShorter(t *testing.T) {
+	tb := New(DefaultConfig())
+	good, bad := addr(1), addr(2)
+	for i := 0; i < 10; i++ {
+		tb.Reward([]ipv6.Addr{good})
+	}
+	tb.Punish(bad)
+	routes := [][]ipv6.Addr{
+		{bad},           // score -99
+		{good, addr(3)}, // score 1 (unknown relay)
+		{good},          // score 11
+		{good, good},    // same min score but longer
+	}
+	if got := tb.Best(routes); got != 2 {
+		t.Fatalf("Best = %d, want 2", got)
+	}
+	// Tie on score: shorter wins.
+	tie := [][]ipv6.Addr{{good, good}, {good}}
+	if got := tb.Best(tie); got != 1 {
+		t.Fatalf("Best(tie) = %d, want shorter route", got)
+	}
+	if tb.Best(nil) != -1 {
+		t.Fatal("Best(nil) should be -1")
+	}
+}
+
+func TestIdentityChurnResetsScore(t *testing.T) {
+	// The defense of §3.4: a punished host that changes address starts at
+	// Initial, which is far below an established good relay.
+	tb := New(DefaultConfig())
+	veteran := addr(1)
+	for i := 0; i < 50; i++ {
+		tb.Reward([]ipv6.Addr{veteran})
+	}
+	churned := addr(99) // attacker's fresh identity
+	if tb.Get(churned) >= tb.Get(veteran) {
+		t.Fatal("fresh identity must rank below an established relay")
+	}
+	routes := [][]ipv6.Addr{{churned}, {veteran, veteran}}
+	if tb.Best(routes) != 1 {
+		t.Fatal("route selection must prefer the veteran path")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	tb := New(DefaultConfig())
+	tb.Reward([]ipv6.Addr{addr(3), addr(1), addr(2)})
+	snap := tb.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if ipv6.Compare(snap[i-1].Addr, snap[i].Addr) >= 0 {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+}
+
+// Property: RouteScore never exceeds the score of any relay on the route.
+func TestPropertyRouteScoreLowerBound(t *testing.T) {
+	tb := New(DefaultConfig())
+	prop := func(ids []uint8, rewards uint8) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		route := make([]ipv6.Addr, len(ids))
+		for i, id := range ids {
+			route[i] = addr(uint64(id))
+		}
+		for i := 0; i < int(rewards%8); i++ {
+			tb.Reward(route[:1+i%len(route)])
+		}
+		score := tb.RouteScore(route)
+		for _, a := range route {
+			if score > tb.Get(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package dsr provides the DSR-style route cache shared by the secure
+// protocol and the plain baseline: source routes keyed by destination, with
+// expiry, capacity bounds, link invalidation on route errors, and — for the
+// secure protocol — the destination's route attestation that lets the cache
+// owner answer later route requests with a CREP (Section 3.3).
+package dsr
+
+import (
+	"sbr6/internal/ipv6"
+	"sbr6/internal/sim"
+)
+
+// Route is one cached source route: the relays between the cache owner and
+// the destination, in forwarding order.
+type Route struct {
+	Relays  []ipv6.Addr
+	Expires sim.Time
+
+	// Attestation, secure mode only: the destination's signature
+	// [owner, Seq, Relays]_{D_SK} from the original RREP, plus the material
+	// to verify it. Only attested entries may be served as CREPs, because
+	// only they carry a proof a third party can check.
+	Attested bool
+	Seq      uint32
+	Sig      []byte
+	DPK      []byte
+	Drn      uint64
+}
+
+// Len returns the hop count of the full path (relays + final hop).
+func (r Route) Len() int { return len(r.Relays) + 1 }
+
+// clone returns a deep copy so cache internals never alias caller slices.
+func (r Route) clone() Route {
+	c := r
+	c.Relays = append([]ipv6.Addr(nil), r.Relays...)
+	c.Sig = append([]byte(nil), r.Sig...)
+	c.DPK = append([]byte(nil), r.DPK...)
+	return c
+}
+
+// sameRelays reports whether two routes traverse identical relays.
+func sameRelays(a, b []ipv6.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cache is one node's route cache. Not safe for concurrent use.
+type Cache struct {
+	owner  ipv6.Addr
+	ttl    sim.Duration
+	perDst int
+	byDst  map[ipv6.Addr][]Route
+}
+
+// NewCache creates a cache for the node with address owner. ttl bounds
+// entry lifetime; perDst bounds alternatives kept per destination.
+func NewCache(owner ipv6.Addr, ttl sim.Duration, perDst int) *Cache {
+	if perDst <= 0 {
+		perDst = 3
+	}
+	return &Cache{owner: owner, ttl: ttl, perDst: perDst, byDst: make(map[ipv6.Addr][]Route)}
+}
+
+// SetOwner updates the owner address (after DAD regenerates it).
+func (c *Cache) SetOwner(owner ipv6.Addr) { c.owner = owner }
+
+// Put inserts a route to dst discovered at time now. A route with identical
+// relays replaces the old entry (refreshing expiry and attestation); when
+// the per-destination bound is exceeded the entry closest to expiry is
+// evicted.
+func (c *Cache) Put(dst ipv6.Addr, r Route, now sim.Time) {
+	r = r.clone()
+	r.Expires = now.Add(c.ttl)
+	list := c.live(dst, now)
+	replaced := false
+	for i := range list {
+		if sameRelays(list[i].Relays, r.Relays) {
+			list[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		list = append(list, r)
+		if len(list) > c.perDst {
+			oldest := 0
+			for i := range list {
+				if list[i].Expires < list[oldest].Expires {
+					oldest = i
+				}
+			}
+			list = append(list[:oldest], list[oldest+1:]...)
+		}
+	}
+	c.byDst[dst] = list
+}
+
+// live returns the non-expired routes for dst, compacting storage.
+func (c *Cache) live(dst ipv6.Addr, now sim.Time) []Route {
+	list := c.byDst[dst]
+	out := list[:0]
+	for _, r := range list {
+		if r.Expires > now {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		delete(c.byDst, dst)
+		return nil
+	}
+	c.byDst[dst] = out
+	return out
+}
+
+// Routes returns copies of the live routes for dst.
+func (c *Cache) Routes(dst ipv6.Addr, now sim.Time) []Route {
+	list := c.live(dst, now)
+	out := make([]Route, len(list))
+	for i, r := range list {
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// Best selects the live route to dst maximizing score (over the relay
+// list), breaking ties toward fewer hops. score may be nil, in which case
+// the shortest live route wins.
+func (c *Cache) Best(dst ipv6.Addr, now sim.Time, score func([]ipv6.Addr) float64) (Route, bool) {
+	list := c.live(dst, now)
+	if len(list) == 0 {
+		return Route{}, false
+	}
+	best := 0
+	for i := 1; i < len(list); i++ {
+		if score != nil {
+			si, sb := score(list[i].Relays), score(list[best].Relays)
+			if si > sb || (si == sb && list[i].Len() < list[best].Len()) {
+				best = i
+			}
+		} else if list[i].Len() < list[best].Len() {
+			best = i
+		}
+	}
+	return list[best].clone(), true
+}
+
+// Attested returns a live attested route to dst (for CREP service).
+func (c *Cache) Attested(dst ipv6.Addr, now sim.Time) (Route, bool) {
+	for _, r := range c.live(dst, now) {
+		if r.Attested {
+			return r.clone(), true
+		}
+	}
+	return Route{}, false
+}
+
+// InvalidateLink removes every route whose full path (owner, relays, dst)
+// traverses the directed link a->b. It returns how many routes were
+// dropped.
+func (c *Cache) InvalidateLink(a, b ipv6.Addr) int {
+	dropped := 0
+	for dst, list := range c.byDst {
+		kept := list[:0]
+		for _, r := range list {
+			if routeUsesLink(c.owner, r.Relays, dst, a, b) {
+				dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(c.byDst, dst)
+		} else {
+			c.byDst[dst] = kept
+		}
+	}
+	return dropped
+}
+
+// InvalidateHost removes every route traversing the given relay; used when
+// credits condemn a host. It returns how many routes were dropped.
+func (c *Cache) InvalidateHost(h ipv6.Addr) int {
+	dropped := 0
+	for dst, list := range c.byDst {
+		kept := list[:0]
+		for _, r := range list {
+			uses := false
+			for _, rel := range r.Relays {
+				if rel == h {
+					uses = true
+					break
+				}
+			}
+			if uses || dst == h {
+				dropped++
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if len(kept) == 0 {
+			delete(c.byDst, dst)
+		} else {
+			c.byDst[dst] = kept
+		}
+	}
+	return dropped
+}
+
+func routeUsesLink(owner ipv6.Addr, relays []ipv6.Addr, dst, a, b ipv6.Addr) bool {
+	prev := owner
+	for _, r := range relays {
+		if prev == a && r == b {
+			return true
+		}
+		prev = r
+	}
+	return prev == a && dst == b
+}
+
+// Destinations returns the destinations that currently have entries
+// (possibly including expired ones not yet compacted), in unspecified
+// order.
+func (c *Cache) Destinations() []ipv6.Addr {
+	out := make([]ipv6.Addr, 0, len(c.byDst))
+	for dst := range c.byDst {
+		out = append(out, dst)
+	}
+	return out
+}
+
+// Flush drops everything.
+func (c *Cache) Flush() { c.byDst = make(map[ipv6.Addr][]Route) }
+
+// Dests returns the number of destinations with live entries (expired
+// entries may still be counted until touched).
+func (c *Cache) Dests() int { return len(c.byDst) }

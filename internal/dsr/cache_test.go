@@ -1,0 +1,198 @@
+package dsr
+
+import (
+	"testing"
+	"time"
+
+	"sbr6/internal/ipv6"
+	"sbr6/internal/sim"
+)
+
+func a(i uint64) ipv6.Addr { return ipv6.SiteLocal(0, i) }
+
+var owner = a(0xae)
+
+func newCache() *Cache { return NewCache(owner, sim.Duration(30*time.Second), 3) }
+
+func TestPutAndBest(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1), a(2)}}, 0)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(3)}}, 0)
+	r, ok := c.Best(dst, 0, nil)
+	if !ok || len(r.Relays) != 1 || r.Relays[0] != a(3) {
+		t.Fatalf("Best = %+v, %v; want the 1-relay route", r, ok)
+	}
+	if _, ok := c.Best(a(77), 0, nil); ok {
+		t.Fatal("route to unknown destination")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1)}}, 0)
+	if _, ok := c.Best(dst, sim.Time(29*time.Second), nil); !ok {
+		t.Fatal("route expired early")
+	}
+	if _, ok := c.Best(dst, sim.Time(31*time.Second), nil); ok {
+		t.Fatal("route outlived its ttl")
+	}
+}
+
+func TestReplaceSameRelaysRefreshes(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1)}}, 0)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1)}}, sim.Time(20*time.Second))
+	if len(c.Routes(dst, sim.Time(21*time.Second))) != 1 {
+		t.Fatal("duplicate relays created a second entry")
+	}
+	if _, ok := c.Best(dst, sim.Time(45*time.Second), nil); !ok {
+		t.Fatal("refresh did not extend expiry")
+	}
+}
+
+func TestPerDestinationBound(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	// Insert at increasing times so expiries order the eviction.
+	for i := 0; i < 5; i++ {
+		c.Put(dst, Route{Relays: []ipv6.Addr{a(uint64(10 + i))}}, sim.Time(i)*sim.Time(time.Second))
+	}
+	routes := c.Routes(dst, sim.Time(5*time.Second))
+	if len(routes) != 3 {
+		t.Fatalf("kept %d routes, want 3", len(routes))
+	}
+	// The earliest-expiring (oldest) entries were evicted.
+	for _, r := range routes {
+		if r.Relays[0] == a(10) || r.Relays[0] == a(11) {
+			t.Fatalf("oldest route survived eviction: %v", r.Relays)
+		}
+	}
+}
+
+func TestBestWithScore(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1)}}, 0)       // short but bad
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(2), a(3)}}, 0) // long but good
+	score := func(relays []ipv6.Addr) float64 {
+		for _, r := range relays {
+			if r == a(1) {
+				return -100
+			}
+		}
+		return 5
+	}
+	r, ok := c.Best(dst, 0, score)
+	if !ok || len(r.Relays) != 2 {
+		t.Fatalf("Best with score = %+v", r)
+	}
+	// Tie on score prefers shorter.
+	c2 := newCache()
+	c2.Put(dst, Route{Relays: []ipv6.Addr{a(2), a(3)}}, 0)
+	c2.Put(dst, Route{Relays: []ipv6.Addr{a(4)}}, 0)
+	flat := func([]ipv6.Addr) float64 { return 1 }
+	r, _ = c2.Best(dst, 0, flat)
+	if len(r.Relays) != 1 {
+		t.Fatal("score tie should prefer fewer hops")
+	}
+}
+
+func TestAttestedLookup(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1)}}, 0) // plain
+	if _, ok := c.Attested(dst, 0); ok {
+		t.Fatal("plain route served as attested")
+	}
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(2)}, Attested: true, Seq: 4, Sig: []byte{1}, DPK: []byte{2}, Drn: 3}, 0)
+	r, ok := c.Attested(dst, 0)
+	if !ok || !r.Attested || r.Seq != 4 {
+		t.Fatalf("Attested = %+v, %v", r, ok)
+	}
+}
+
+func TestInvalidateLink(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1), a(2)}}, 0) // owner->1->2->9
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(3)}}, 0)       // owner->3->9
+	// Link 1->2 kills only the first route.
+	if n := c.InvalidateLink(a(1), a(2)); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	routes := c.Routes(dst, 0)
+	if len(routes) != 1 || routes[0].Relays[0] != a(3) {
+		t.Fatalf("wrong survivor: %+v", routes)
+	}
+	// First-hop link: owner->3.
+	if n := c.InvalidateLink(owner, a(3)); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	// Last-hop link relay->dst.
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(4)}}, 0)
+	if n := c.InvalidateLink(a(4), dst); n != 1 {
+		t.Fatalf("last-hop invalidation dropped %d, want 1", n)
+	}
+	if c.Dests() != 0 {
+		t.Fatal("cache should be empty")
+	}
+}
+
+func TestInvalidateLinkIsDirected(t *testing.T) {
+	c := newCache()
+	dst := a(9)
+	c.Put(dst, Route{Relays: []ipv6.Addr{a(1), a(2)}}, 0)
+	if n := c.InvalidateLink(a(2), a(1)); n != 0 {
+		t.Fatal("reverse link should not invalidate")
+	}
+}
+
+func TestInvalidateHost(t *testing.T) {
+	c := newCache()
+	c.Put(a(9), Route{Relays: []ipv6.Addr{a(1), a(2)}}, 0)
+	c.Put(a(9), Route{Relays: []ipv6.Addr{a(3)}}, 0)
+	c.Put(a(2), Route{Relays: []ipv6.Addr{a(5)}}, 0) // dst IS the host
+	if n := c.InvalidateHost(a(2)); n != 2 {
+		t.Fatalf("dropped %d, want 2", n)
+	}
+	if len(c.Routes(a(9), 0)) != 1 {
+		t.Fatal("unrelated route lost")
+	}
+}
+
+func TestCacheDoesNotAliasCallerSlices(t *testing.T) {
+	c := newCache()
+	relays := []ipv6.Addr{a(1), a(2)}
+	c.Put(a(9), Route{Relays: relays}, 0)
+	relays[0] = a(99) // caller mutates after Put
+	r, _ := c.Best(a(9), 0, nil)
+	if r.Relays[0] != a(1) {
+		t.Fatal("cache aliased caller slice")
+	}
+	r.Relays[0] = a(98) // caller mutates returned route
+	r2, _ := c.Best(a(9), 0, nil)
+	if r2.Relays[0] != a(1) {
+		t.Fatal("returned route aliases cache")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := newCache()
+	c.Put(a(9), Route{Relays: []ipv6.Addr{a(1)}}, 0)
+	c.Flush()
+	if _, ok := c.Best(a(9), 0, nil); ok {
+		t.Fatal("route survived flush")
+	}
+}
+
+func TestRouteLen(t *testing.T) {
+	if (Route{}).Len() != 1 {
+		t.Fatal("direct route length should be 1")
+	}
+	if (Route{Relays: []ipv6.Addr{a(1), a(2)}}).Len() != 3 {
+		t.Fatal("3-hop route length wrong")
+	}
+}

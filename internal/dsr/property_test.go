@@ -1,0 +1,115 @@
+package dsr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sbr6/internal/ipv6"
+	"sbr6/internal/sim"
+)
+
+// Property tests over random cache workloads.
+
+func randRoute(r *rand.Rand) Route {
+	n := r.Intn(5)
+	relays := make([]ipv6.Addr, n)
+	for i := range relays {
+		relays[i] = a(uint64(1 + r.Intn(8)))
+	}
+	return Route{Relays: relays, Attested: r.Intn(2) == 0}
+}
+
+// Property: Best always returns a route that is present in Routes, and its
+// score is maximal among them.
+func TestPropertyBestIsMaximal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	score := func(relays []ipv6.Addr) float64 {
+		s := 0.0
+		for _, rel := range relays {
+			s -= float64(rel.InterfaceID() % 13)
+		}
+		return s
+	}
+	for trial := 0; trial < 300; trial++ {
+		c := NewCache(owner, sim.Duration(time.Minute), 4)
+		dst := a(100)
+		inserts := 1 + r.Intn(6)
+		for i := 0; i < inserts; i++ {
+			c.Put(dst, randRoute(r), sim.Time(i))
+		}
+		now := sim.Time(inserts)
+		best, ok := c.Best(dst, now, score)
+		if !ok {
+			t.Fatal("cache non-empty but Best failed")
+		}
+		found := false
+		for _, route := range c.Routes(dst, now) {
+			if sameRelays(route.Relays, best.Relays) {
+				found = true
+			}
+			if score(route.Relays) > score(best.Relays) {
+				t.Fatalf("Best not maximal: %v beats %v", route.Relays, best.Relays)
+			}
+		}
+		if !found {
+			t.Fatal("Best returned a route not in the cache")
+		}
+	}
+}
+
+// Property: after InvalidateLink(a, b), no remaining route's full path
+// contains the directed link a->b.
+func TestPropertyInvalidateLinkComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		c := NewCache(owner, sim.Duration(time.Minute), 8)
+		dsts := []ipv6.Addr{a(100), a(101)}
+		for i := 0; i < 8; i++ {
+			c.Put(dsts[r.Intn(2)], randRoute(r), 0)
+		}
+		x, y := a(uint64(1+r.Intn(8))), a(uint64(1+r.Intn(8)))
+		c.InvalidateLink(x, y)
+		for _, dst := range dsts {
+			for _, route := range c.Routes(dst, 0) {
+				if routeUsesLink(owner, route.Relays, dst, x, y) {
+					t.Fatalf("route %v -> %v still uses link %v->%v", route.Relays, dst, x, y)
+				}
+			}
+		}
+	}
+}
+
+// Property: the per-destination bound holds under any insertion sequence.
+func TestPropertyPerDstBound(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := NewCache(owner, sim.Duration(time.Hour), 3)
+	dst := a(100)
+	for i := 0; i < 200; i++ {
+		c.Put(dst, randRoute(r), sim.Time(i))
+		if got := len(c.Routes(dst, sim.Time(i))); got > 3 {
+			t.Fatalf("bound violated: %d routes", got)
+		}
+	}
+}
+
+// Property: InvalidateHost removes exactly the routes using the host.
+func TestPropertyInvalidateHostComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		c := NewCache(owner, sim.Duration(time.Hour), 8)
+		dst := a(100)
+		for i := 0; i < 6; i++ {
+			c.Put(dst, randRoute(r), 0)
+		}
+		h := a(uint64(1 + r.Intn(8)))
+		c.InvalidateHost(h)
+		for _, route := range c.Routes(dst, 0) {
+			for _, rel := range route.Relays {
+				if rel == h {
+					t.Fatalf("route still uses condemned host %v", h)
+				}
+			}
+		}
+	}
+}

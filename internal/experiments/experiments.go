@@ -1,0 +1,91 @@
+// Package experiments regenerates every table, figure and security-analysis
+// claim of the paper, plus the derived quantitative experiments DESIGN.md
+// defines. Each experiment is a pure function from options to result
+// tables, shared by cmd/sbrbench (printing), the root benchmark suite and
+// the integration tests.
+//
+// Experiment ids follow DESIGN.md: T1/T2 (tables), F1-F3 (figures), S1-S4
+// (Section 4 attacks) and E1-E4 (derived measurements).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sbr6/internal/trace"
+)
+
+// Options configure a run.
+type Options struct {
+	// Seed drives every simulation in the experiment.
+	Seed int64
+	// Quick shrinks sweeps for fast CI/bench runs; full mode covers the
+	// ranges EXPERIMENTS.md records.
+	Quick bool
+	// Replicates averages stochastic sweeps (currently S2) over this many
+	// seeds; 0 or 1 means a single run.
+	Replicates int
+}
+
+// DefaultOptions is the configuration EXPERIMENTS.md was produced with.
+func DefaultOptions() Options { return Options{Seed: 1, Replicates: 3} }
+
+// replicates normalizes the replicate count.
+func (o Options) replicates() int {
+	if o.Quick || o.Replicates < 1 {
+		return 1
+	}
+	return o.Replicates
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) []*trace.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func(Options) []*trace.Table) {
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders T1 < T2 < F1 < ... < S1 < ... < E1 < ...
+func idLess(a, b string) bool {
+	rank := func(id string) string {
+		order := map[byte]byte{'T': '1', 'F': '2', 'S': '3', 'E': '4'}
+		if len(id) == 0 {
+			return id
+		}
+		return string(order[id[0]]) + id[1:]
+	}
+	return rank(a) < rank(b)
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "F1", "F2", "F3", "S1", "S2", "S3", "S4", "E1", "E2", "E3", "E4", "E5", "E6"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	got := map[string]bool{}
+	for _, e := range all {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+	// Ordering: tables, figures, attacks, derived.
+	if all[0].ID != "T1" || all[2].ID != "F1" || all[5].ID != "S1" || all[9].ID != "E1" {
+		t.Fatalf("ordering wrong: %v", ids())
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("Z9"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// cell fetches a table cell by header name.
+func cell(t *testing.T, tb interface {
+	String() string
+}, _ string) string {
+	return tb.String()
+}
+
+func TestT1MessageSizes(t *testing.T) {
+	tables := runT1(quickOpts())
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// Every Table 1 message type appears.
+	body := tables[0].String()
+	for _, mt := range []string{"AREQ", "AREP", "DREP", "RREQ", "RREP", "CREP", "RERR"} {
+		if !strings.Contains(body, mt) {
+			t.Fatalf("T1 missing %s:\n%s", mt, body)
+		}
+	}
+	// Growth table: secure strictly exceeds baseline at every hop count,
+	// and rsa1024 exceeds ed25519.
+	for _, row := range tables[1].Rows {
+		base, _ := strconv.Atoi(row[1])
+		ed, _ := strconv.Atoi(row[2])
+		rsa, _ := strconv.Atoi(row[3])
+		if !(base < ed && ed < rsa) {
+			t.Fatalf("size ordering violated in row %v", row)
+		}
+	}
+}
+
+func TestT2CryptoCosts(t *testing.T) {
+	tables := runT2(quickOpts())
+	if len(tables) != 2 {
+		t.Fatal("want 2 tables")
+	}
+	if len(tables[0].Rows) != 8 { // 2 suites x 4 ops
+		t.Fatalf("T2 rows = %d", len(tables[0].Rows))
+	}
+}
+
+func TestF1LayoutAndTakeover(t *testing.T) {
+	tables := runF1(quickOpts())
+	layout := tables[0].String()
+	if !strings.Contains(layout, "fec0::/10") || !strings.Contains(layout, "true") {
+		t.Fatalf("layout table wrong:\n%s", layout)
+	}
+	// Measured attempts must grow with width overall: compare the first
+	// and last measured rows (the final row is the 64-bit extrapolation).
+	rows := tables[1].Rows
+	first, _ := strconv.Atoi(rows[0][2])
+	last, _ := strconv.Atoi(rows[len(rows)-2][2])
+	if first <= 0 || last <= 0 {
+		t.Fatalf("attempts not recorded: %v", rows)
+	}
+	if last < first {
+		t.Logf("note: wide-width attempts %d < narrow %d (variance)", last, first)
+	}
+}
+
+func TestF2DADWalkthrough(t *testing.T) {
+	tables := runF2(quickOpts())
+	outcome := tables[1].String()
+	for _, want := range []string{"owner kept address", "true", "printer-r"} {
+		if !strings.Contains(outcome, want) {
+			t.Fatalf("F2 outcome missing %q:\n%s", want, outcome)
+		}
+	}
+	walk := tables[0].String()
+	for _, msg := range []string{"AREQ", "AREP", "DREP"} {
+		if !strings.Contains(walk, msg) {
+			t.Fatalf("F2 walkthrough missing %s:\n%s", msg, walk)
+		}
+	}
+	// Scaling table rows all configured fully.
+	for _, row := range tables[2].Rows {
+		parts := strings.Split(row[4], "/")
+		if parts[0] != parts[1] {
+			t.Fatalf("DAD sweep with failures: %v", row)
+		}
+	}
+}
+
+func TestF3RouteDiscoveryWalkthrough(t *testing.T) {
+	tables := runF3(quickOpts())
+	if !strings.Contains(tables[0].String(), "RREQ") || !strings.Contains(tables[0].String(), "RREP") {
+		t.Fatalf("F3a missing discovery messages:\n%s", tables[0].String())
+	}
+	if !strings.Contains(tables[1].String(), "CREP") {
+		t.Fatalf("F3b missing CREP:\n%s", tables[1].String())
+	}
+	facts := tables[2].String()
+	if !strings.Contains(facts, "found=true") {
+		t.Fatalf("F3 routes not found:\n%s", facts)
+	}
+}
+
+func TestS1DNSImpersonation(t *testing.T) {
+	tables := runS1(quickOpts())
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// baseline poisoned=true, secure poisoned=false.
+	if rows[0][2] != "true" {
+		t.Fatalf("baseline not poisoned: %v", rows[0])
+	}
+	if rows[1][2] != "false" {
+		t.Fatalf("secure poisoned: %v", rows[1])
+	}
+	replay := tables[1].Rows
+	if replay[0][1] != "true" || replay[1][1] != "false" {
+		t.Fatalf("replay table wrong: %v", replay)
+	}
+}
+
+func TestS2BlackHoleShape(t *testing.T) {
+	tables := runS2(quickOpts())
+	rows := tables[0].Rows
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	// Row 0: no attackers — all variants deliver.
+	for c := 1; c <= 3; c++ {
+		if parse(rows[0][c]) < 0.9 {
+			t.Fatalf("clean network PDR too low: %v", rows[0])
+		}
+	}
+	// With attackers: baseline collapses, secure+credits stays usable.
+	last := rows[len(rows)-1]
+	if parse(last[1]) > 0.3 {
+		t.Fatalf("baseline should collapse under black holes: %v", last)
+	}
+	if parse(last[3]) < 0.5 {
+		t.Fatalf("secure+credits should survive: %v", last)
+	}
+	if parse(last[3]) <= parse(last[1]) {
+		t.Fatalf("defense ordering violated: %v", last)
+	}
+}
+
+func TestS3ForgeReplayTable(t *testing.T) {
+	tables := runS3(quickOpts())
+	body := tables[0].String()
+	if strings.Contains(body, "ACCEPTED (defense failed)") {
+		t.Fatalf("secure protocol accepted a forgery:\n%s", body)
+	}
+	for _, want := range []string{"AREP", "DREP", "RREP", "CREP", "replayed"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("S3 missing %q:\n%s", want, body)
+		}
+	}
+	// The impersonation row must show baseline stealing and secure not.
+	if !strings.Contains(body, "stolen=") {
+		t.Fatalf("impersonation outcome missing:\n%s", body)
+	}
+}
+
+func TestS4RERRSpam(t *testing.T) {
+	tables := runS4(quickOpts())
+	rows := tables[0].Rows
+	// Secure row flags the spammer.
+	secureRow := rows[1]
+	if secureRow[4] == "0" {
+		t.Fatalf("spammer never flagged: %v", secureRow)
+	}
+	forge := tables[1].String()
+	if !strings.Contains(forge, "false (CGA binding fails)") {
+		t.Fatalf("forged RERR verdict missing:\n%s", forge)
+	}
+}
+
+func TestE1OverheadShape(t *testing.T) {
+	tables := runE1(quickOpts())
+	rows := tables[0].Rows
+	// Pairs of rows: baseline then secure per size. Secure ctrl bytes and
+	// crypto ops must exceed baseline at every size.
+	for i := 0; i+1 < len(rows); i += 2 {
+		base, sec := rows[i], rows[i+1]
+		bb, _ := strconv.ParseFloat(base[4], 64)
+		sb, _ := strconv.ParseFloat(sec[4], 64)
+		if sb <= bb {
+			t.Fatalf("secure ctrl bytes not larger at n=%s: %v vs %v", base[0], sb, bb)
+		}
+		if base[6] != "0" || sec[6] == "0" {
+			t.Fatalf("crypto op columns wrong: %v / %v", base, sec)
+		}
+	}
+}
+
+func TestE2SuiteAblation(t *testing.T) {
+	tables := runE2(quickOpts())
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	edBytes, _ := strconv.Atoi(rows[0][3])
+	rsaBytes, _ := strconv.Atoi(rows[1][3])
+	if rsaBytes <= edBytes {
+		t.Fatalf("RSA RREQ should be larger: %d vs %d", rsaBytes, edBytes)
+	}
+	// Both suites must actually deliver.
+	for _, row := range rows {
+		pdr, _ := strconv.ParseFloat(row[1], 64)
+		if pdr < 0.9 {
+			t.Fatalf("suite %s PDR = %v", row[0], pdr)
+		}
+	}
+}
+
+func TestE3CreditConvergence(t *testing.T) {
+	tables := runE3(quickOpts())
+	rows := tables[0].Rows
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	// By the last window, credits must beat no-credits.
+	last := rows[len(rows)-1]
+	if parse(last[2]) <= parse(last[1]) {
+		t.Logf("windows:\n%s", tables[0].String())
+		t.Fatalf("credits did not out-deliver no-credits in final window: %v", last)
+	}
+	churn := tables[1].String()
+	if !strings.Contains(churn, "identity churns") {
+		t.Fatalf("churn table missing:\n%s", churn)
+	}
+}
+
+func TestE5CacheAblation(t *testing.T) {
+	tables := runE5(quickOpts())
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withCache, _ := strconv.ParseFloat(rows[0][2], 64)
+	without, _ := strconv.ParseFloat(rows[1][2], 64)
+	if withCache >= without {
+		t.Fatalf("cache should reduce discovery attempts: %v vs %v", withCache, without)
+	}
+	creps, _ := strconv.ParseFloat(rows[0][3], 64)
+	if creps == 0 {
+		t.Fatal("no CREPs served with cache enabled")
+	}
+	if rows[1][3] != "0" {
+		t.Fatal("CREPs served with cache disabled")
+	}
+}
+
+func TestE6DADLossShape(t *testing.T) {
+	tables := runE6(quickOpts())
+	rows := tables[0].Rows
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	// No loss -> no false successes, at any distance.
+	if parse(rows[0][1]) != 0 || parse(rows[0][2]) != 0 {
+		t.Fatalf("false successes on a clean channel: %v", rows[0])
+	}
+	// Heavy loss -> strictly worse than no loss somewhere.
+	last := rows[len(rows)-1]
+	if parse(last[1])+parse(last[2]) == 0 {
+		t.Fatalf("no false successes under heavy loss: %v", last)
+	}
+}
+
+func TestE4CollisionBirthday(t *testing.T) {
+	tables := runE4(quickOpts())
+	rows := tables[0].Rows
+	// At 8 bits with 500 ids, collisions are guaranteed and large; the
+	// observed count must be within a factor ~2 of the birthday estimate.
+	obs, _ := strconv.ParseFloat(rows[0][3], 64)
+	exp, _ := strconv.ParseFloat(rows[0][4], 64)
+	if obs == 0 {
+		t.Fatalf("no collisions at 8 bits: %v", rows[0])
+	}
+	if obs < exp/2 || obs > exp*2 {
+		t.Fatalf("collisions %v far from birthday estimate %v", obs, exp)
+	}
+}

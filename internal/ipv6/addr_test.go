@@ -1,0 +1,223 @@
+package ipv6
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringCanonical(t *testing.T) {
+	cases := []struct {
+		in   Addr
+		want string
+	}{
+		{Unspecified, "::"},
+		{Addr{15: 1}, "::1"},
+		{AllNodes, "ff02::1"},
+		{MustParse("fec0:0:0:ffff::1"), "fec0:0:0:ffff::1"},
+		{MustParse("2001:db8::8:800:200c:417a"), "2001:db8::8:800:200c:417a"},
+		{MustParse("2001:db8:0:1:1:1:1:1"), "2001:db8:0:1:1:1:1:1"}, // single zero group not compressed
+		{MustParse("2001:0:0:1:0:0:0:1"), "2001:0:0:1::1"},          // longest run wins
+		{MustParse("2001:db8:0:0:1:0:0:1"), "2001:db8::1:0:0:1"},    // leftmost on tie
+		{MustParse("fe80::0202:b3ff:fe1e:8329"), "fe80::202:b3ff:fe1e:8329"},
+		{MustParse("1:2:3:4:5:6:7:8"), "1:2:3:4:5:6:7:8"},
+		{MustParse("1::"), "1::"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", [16]byte(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+	}{
+		{"::", Unspecified},
+		{"::1", Addr{15: 1}},
+		{"1::", Addr{1: 1}},
+		{"ff02::1", AllNodes},
+		{"FEC0::A", SiteLocal(0, 10)},
+		{"1:2:3:4:5:6:7:8", FromGroups([8]uint16{1, 2, 3, 4, 5, 6, 7, 8})},
+		{"fec0:0:0:ffff:0:0:0:1", DNS1},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		":",
+		":::",
+		"1:2:3:4:5:6:7",        // too few groups, no ::
+		"1:2:3:4:5:6:7:8:9",    // too many groups
+		"1::2::3",              // two compressions
+		"12345::",              // group too wide
+		"g::",                  // bad hex digit
+		"1:2:3:4:5:6:7:8::",    // compression with full groups
+		"::1:2:3:4:5:6:7:8",    // compression with full groups
+		"fe80::1%eth0",         // zones unsupported
+		"1.2.3.4",              // IPv4 unsupported
+		"::ffff:192.168.0.1",   // v4-mapped unsupported
+		"0001:0002:0003:0004:", // trailing colon
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRoundTripWellKnown(t *testing.T) {
+	for _, a := range []Addr{Unspecified, AllNodes, DNS1, DNS2, DNS3, SiteLocal(0, 0xdeadbeefcafef00d)} {
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round-trip %v -> %q -> %v", [16]byte(a), a.String(), [16]byte(back))
+		}
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary addresses.
+func TestPropertyRoundTrip(t *testing.T) {
+	prop := func(raw [16]byte) bool {
+		a := Addr(raw)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteLocalLayout(t *testing.T) {
+	// Figure 1: fec0::/10 prefix, 38 zero bits, 16-bit subnet, 64-bit IID.
+	a := SiteLocal(0, 0x0123456789abcdef)
+	if !a.IsSiteLocal() {
+		t.Fatal("SiteLocal address not in fec0::/10")
+	}
+	if !SiteLocalPrefix.Contains(a) {
+		t.Fatal("SiteLocalPrefix does not contain constructed address")
+	}
+	if a.SubnetID() != 0 {
+		t.Fatalf("SubnetID = %#x, want 0", a.SubnetID())
+	}
+	if a.InterfaceID() != 0x0123456789abcdef {
+		t.Fatalf("InterfaceID = %#x", a.InterfaceID())
+	}
+	// The 38 bits after the 10-bit prefix must all be zero.
+	if a[1]&0x3f != 0 || a[2] != 0 || a[3] != 0 || a[4] != 0 || a[5] != 0 {
+		t.Fatalf("all-zero field violated: % x", a[:8])
+	}
+
+	b := SiteLocal(0xbeef, 7)
+	if b.SubnetID() != 0xbeef {
+		t.Fatalf("SubnetID = %#x, want 0xbeef", b.SubnetID())
+	}
+}
+
+func TestWithInterfaceID(t *testing.T) {
+	a := SiteLocal(0, 1)
+	b := a.WithInterfaceID(99)
+	if b.InterfaceID() != 99 {
+		t.Fatalf("InterfaceID = %d", b.InterfaceID())
+	}
+	if a.InterfaceID() != 1 {
+		t.Fatal("WithInterfaceID mutated receiver")
+	}
+	if b.SubnetID() != a.SubnetID() || !b.IsSiteLocal() {
+		t.Fatal("WithInterfaceID changed upper bits")
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	if !Unspecified.IsUnspecified() {
+		t.Fatal("Unspecified misclassified")
+	}
+	if Unspecified.IsSiteLocal() || Unspecified.IsMulticast() {
+		t.Fatal("Unspecified misclassified")
+	}
+	if !AllNodes.IsMulticast() {
+		t.Fatal("AllNodes not multicast")
+	}
+	if !DNS1.IsSiteLocal() || !DNS2.IsSiteLocal() || !DNS3.IsSiteLocal() {
+		t.Fatal("DNS anycast addresses must be site-local")
+	}
+	// fe80::/10 is link-local, not site-local.
+	if MustParse("fe80::1").IsSiteLocal() {
+		t.Fatal("fe80:: misclassified as site-local")
+	}
+	// febf:: is still site-local? No: fec0::/10 means top bits 1111111011.
+	if MustParse("febf::1").IsSiteLocal() {
+		t.Fatal("febf:: misclassified")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := SiteLocal(0, 1)
+	b := SiteLocal(0, 2)
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Fatal("Compare ordering broken")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: MustParse("fec0::"), Bits: 10}
+	if !p.Contains(MustParse("fec0::1")) || !p.Contains(MustParse("feff::1")) {
+		t.Fatal("prefix should contain fec0::/10 members")
+	}
+	if p.Contains(MustParse("fe80::1")) {
+		t.Fatal("prefix should not contain fe80::")
+	}
+	whole := Prefix{Bits: 0}
+	if !whole.Contains(MustParse("1234::1")) {
+		t.Fatal("/0 should contain everything")
+	}
+	exact := Prefix{Addr: DNS1, Bits: 128}
+	if !exact.Contains(DNS1) || exact.Contains(DNS2) {
+		t.Fatal("/128 behaves wrong")
+	}
+	bad := Prefix{Bits: 129}
+	if bad.Contains(DNS1) {
+		t.Fatal("invalid prefix length should contain nothing")
+	}
+	if got := SiteLocalPrefix.String(); got != "fec0::/10" {
+		t.Fatalf("Prefix.String = %q", got)
+	}
+}
+
+func TestGroupsRoundTrip(t *testing.T) {
+	g := [8]uint16{0xfec0, 0, 0, 0xffff, 0x1234, 0x5678, 0x9abc, 0xdef0}
+	if FromGroups(g).Groups() != g {
+		t.Fatal("Groups/FromGroups not inverse")
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	a := MustParse("fec0:0:0:ffff:123:4567:89ab:cdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.String()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("fec0::ffff:123:4567:89ab"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package ipv6
+
+import "testing"
+
+// Fuzz the textual address parser: arbitrary strings must never panic, and
+// anything accepted must round-trip through canonical formatting.
+// Run longer with: go test -fuzz=FuzzParse ./internal/ipv6/
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"::", "::1", "1::", "fec0::1", "fec0:0:0:ffff::1",
+		"1:2:3:4:5:6:7:8", "2001:db8::8:800:200c:417a",
+		"", ":", ":::", "12345::", "g::", "fe80::1%eth0",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Canonical round trip.
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not parse: %v", a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round trip changed the address: %v -> %v", a, back)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+// Package mobility provides deterministic node mobility models for the
+// simulated MANET: static placement, random waypoint, and bounded random
+// walk. Every model exposes a Track — a function of virtual time to a
+// position — built lazily from a seeded random source so that runs are
+// reproducible and positions can be queried out of order.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"sbr6/internal/geom"
+	"sbr6/internal/sim"
+)
+
+// Track reports a node's position at a virtual time. Implementations must be
+// deterministic: the same Track queried at the same time always returns the
+// same point.
+type Track interface {
+	Position(t sim.Time) geom.Point
+}
+
+// Static is a Track that never moves.
+type Static geom.Point
+
+// Position implements Track.
+func (s Static) Position(sim.Time) geom.Point { return geom.Point(s) }
+
+// leg is one segment of piecewise-linear motion: travel from From to To
+// during [Start, ArriveAt], then hold position until End (pause time).
+type leg struct {
+	start    sim.Time
+	arriveAt sim.Time
+	end      sim.Time
+	from, to geom.Point
+}
+
+func (l leg) position(t sim.Time) geom.Point {
+	if t <= l.start || l.arriveAt == l.start {
+		return l.from
+	}
+	if t >= l.arriveAt {
+		return l.to
+	}
+	frac := float64(t-l.start) / float64(l.arriveAt-l.start)
+	return l.from.Lerp(l.to, frac)
+}
+
+// mover lazily extends a trajectory with legs produced by next.
+type mover struct {
+	legs []leg
+	next func(prev leg) leg
+}
+
+func (m *mover) Position(t sim.Time) geom.Point {
+	for m.legs[len(m.legs)-1].end < t {
+		m.legs = append(m.legs, m.next(m.legs[len(m.legs)-1]))
+	}
+	// Binary search for the covering leg.
+	lo, hi := 0, len(m.legs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.legs[mid].end < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return m.legs[lo].position(t)
+}
+
+// WaypointConfig parameterizes the classic random waypoint model.
+type WaypointConfig struct {
+	Region   geom.Rect
+	MinSpeed float64       // metres/second, > 0 to avoid the speed-decay pathology
+	MaxSpeed float64       // metres/second, >= MinSpeed
+	Pause    time.Duration // pause at each waypoint
+}
+
+// NewWaypoint builds a random waypoint Track starting at start. The rng must
+// be dedicated to this track (derive one per node from the scenario seed).
+func NewWaypoint(cfg WaypointConfig, start geom.Point, rng *rand.Rand) Track {
+	if cfg.MinSpeed <= 0 {
+		cfg.MinSpeed = 0.1
+	}
+	if cfg.MaxSpeed < cfg.MinSpeed {
+		cfg.MaxSpeed = cfg.MinSpeed
+	}
+	next := func(prev leg) leg {
+		dest := cfg.Region.RandomPoint(rng)
+		speed := cfg.MinSpeed + rng.Float64()*(cfg.MaxSpeed-cfg.MinSpeed)
+		dist := prev.to.Dist(dest)
+		travel := sim.Duration(dist / speed * float64(time.Second))
+		arrive := prev.end.Add(travel)
+		return leg{start: prev.end, arriveAt: arrive, end: arrive.Add(cfg.Pause), from: prev.to, to: dest}
+	}
+	seed := leg{start: 0, arriveAt: 0, end: 0, from: start, to: start}
+	return &mover{legs: []leg{seed}, next: next}
+}
+
+// WalkConfig parameterizes a bounded random walk: at each epoch the node
+// picks a uniformly random direction and walks at Speed for Epoch, clamped
+// to the region.
+type WalkConfig struct {
+	Region geom.Rect
+	Speed  float64 // metres/second
+	Epoch  time.Duration
+}
+
+// NewWalk builds a bounded random-walk Track starting at start.
+func NewWalk(cfg WalkConfig, start geom.Point, rng *rand.Rand) Track {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 10 * time.Second
+	}
+	next := func(prev leg) leg {
+		theta := rng.Float64() * 2 * math.Pi
+		step := cfg.Speed * cfg.Epoch.Seconds()
+		dest := cfg.Region.Clamp(prev.to.Add(geom.Point{X: math.Cos(theta) * step, Y: math.Sin(theta) * step}))
+		arrive := prev.end.Add(cfg.Epoch)
+		return leg{start: prev.end, arriveAt: arrive, end: arrive, from: prev.to, to: dest}
+	}
+	seed := leg{from: start, to: start}
+	return &mover{legs: []leg{seed}, next: next}
+}
+
+// UniformPlacement returns n independent uniform positions inside region.
+func UniformPlacement(region geom.Rect, n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = region.RandomPoint(rng)
+	}
+	return pts
+}
+
+// GridPlacement lays out n nodes on the most-square grid that fits region,
+// centred in each cell. Deterministic; used by the scripted figure
+// reproductions where the topology must match the paper's diagrams.
+func GridPlacement(region geom.Rect, n int) []geom.Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	pts := make([]geom.Point, 0, n)
+	cw, ch := region.W/float64(cols), region.H/float64(rows)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		pts = append(pts, geom.Point{X: (float64(c) + 0.5) * cw, Y: (float64(r) + 0.5) * ch})
+	}
+	return pts
+}
+
+// LinePlacement lays out n nodes on a horizontal line with the given
+// spacing, used for chain topologies in route-discovery experiments.
+func LinePlacement(n int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return pts
+}

@@ -1,0 +1,183 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sbr6/internal/geom"
+	"sbr6/internal/sim"
+)
+
+func TestStaticNeverMoves(t *testing.T) {
+	s := Static(geom.Point{X: 3, Y: 4})
+	for _, tm := range []sim.Time{0, sim.Time(time.Hour), sim.Time(24 * time.Hour)} {
+		if s.Position(tm) != (geom.Point{X: 3, Y: 4}) {
+			t.Fatalf("static track moved at %v", tm)
+		}
+	}
+}
+
+func TestWaypointStaysInRegion(t *testing.T) {
+	region := geom.Rect{W: 500, H: 300}
+	cfg := WaypointConfig{Region: region, MinSpeed: 1, MaxSpeed: 10, Pause: 2 * time.Second}
+	tr := NewWaypoint(cfg, geom.Point{X: 100, Y: 100}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 5000; i++ {
+		p := tr.Position(sim.Time(i) * sim.Time(100*time.Millisecond))
+		if !region.Contains(p) {
+			t.Fatalf("waypoint left region at step %d: %v", i, p)
+		}
+	}
+}
+
+func TestWaypointStartsAtStart(t *testing.T) {
+	start := geom.Point{X: 42, Y: 17}
+	tr := NewWaypoint(WaypointConfig{Region: geom.Rect{W: 100, H: 100}, MinSpeed: 1, MaxSpeed: 1}, start, rand.New(rand.NewSource(2)))
+	if got := tr.Position(0); got != start {
+		t.Fatalf("Position(0) = %v, want %v", got, start)
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	// With MaxSpeed v, displacement over dt can never exceed v*dt.
+	cfg := WaypointConfig{Region: geom.Rect{W: 1000, H: 1000}, MinSpeed: 5, MaxSpeed: 20}
+	tr := NewWaypoint(cfg, geom.Point{X: 500, Y: 500}, rand.New(rand.NewSource(3)))
+	dt := 100 * time.Millisecond
+	prev := tr.Position(0)
+	for i := 1; i < 3000; i++ {
+		now := tr.Position(sim.Time(i) * sim.Time(dt))
+		if d := prev.Dist(now); d > 20*dt.Seconds()+1e-9 {
+			t.Fatalf("speed bound violated at step %d: moved %v m in %v", i, d, dt)
+		}
+		prev = now
+	}
+}
+
+func TestWaypointDeterministicAndMonotoneQueries(t *testing.T) {
+	mk := func() Track {
+		return NewWaypoint(WaypointConfig{Region: geom.Rect{W: 300, H: 300}, MinSpeed: 1, MaxSpeed: 5, Pause: time.Second},
+			geom.Point{X: 10, Y: 10}, rand.New(rand.NewSource(7)))
+	}
+	a, b := mk(), mk()
+	// Query a in order, b out of order; same answers must come back.
+	times := []sim.Time{0, sim.Time(5 * time.Second), sim.Time(60 * time.Second), sim.Time(30 * time.Second), sim.Time(60 * time.Second)}
+	fromA := make([]geom.Point, len(times))
+	for i, tm := range times {
+		fromA[i] = a.Position(tm)
+	}
+	for _, i := range []int{2, 0, 4, 1, 3} {
+		if got := b.Position(times[i]); got != fromA[i] {
+			t.Fatalf("out-of-order query diverged at t=%v: %v vs %v", times[i], got, fromA[i])
+		}
+	}
+}
+
+func TestWaypointPause(t *testing.T) {
+	// With min==max speed 1 m/s in a tiny region and a long pause, the node
+	// must be stationary for stretches.
+	cfg := WaypointConfig{Region: geom.Rect{W: 10, H: 10}, MinSpeed: 1, MaxSpeed: 1, Pause: time.Minute}
+	tr := NewWaypoint(cfg, geom.Point{X: 5, Y: 5}, rand.New(rand.NewSource(11)))
+	stationary := 0
+	prev := tr.Position(0)
+	for i := 1; i < 600; i++ {
+		now := tr.Position(sim.Time(i) * sim.Time(time.Second))
+		if now == prev {
+			stationary++
+		}
+		prev = now
+	}
+	if stationary < 300 {
+		t.Fatalf("expected long pauses, only %d stationary seconds of 600", stationary)
+	}
+}
+
+func TestWalkStaysInRegion(t *testing.T) {
+	region := geom.Rect{W: 200, H: 200}
+	tr := NewWalk(WalkConfig{Region: region, Speed: 15, Epoch: 5 * time.Second}, geom.Point{X: 100, Y: 100}, rand.New(rand.NewSource(5)))
+	for i := 0; i < 2000; i++ {
+		p := tr.Position(sim.Time(i) * sim.Time(500*time.Millisecond))
+		if !region.Contains(p) {
+			t.Fatalf("walk left region: %v", p)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// Zero-valued speeds must not produce NaN positions or hangs.
+	tr := NewWaypoint(WaypointConfig{Region: geom.Rect{W: 10, H: 10}}, geom.Point{}, rand.New(rand.NewSource(1)))
+	p := tr.Position(sim.Time(time.Minute))
+	if p != p { // NaN check
+		t.Fatal("NaN position")
+	}
+	tw := NewWalk(WalkConfig{Region: geom.Rect{W: 10, H: 10}}, geom.Point{}, rand.New(rand.NewSource(1)))
+	if q := tw.Position(sim.Time(time.Minute)); q != q {
+		t.Fatal("NaN position")
+	}
+}
+
+func TestUniformPlacementInRegion(t *testing.T) {
+	region := geom.Rect{W: 123, H: 456}
+	pts := UniformPlacement(region, 500, rand.New(rand.NewSource(9)))
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("placement outside region: %v", p)
+		}
+	}
+}
+
+func TestGridPlacement(t *testing.T) {
+	region := geom.Rect{W: 100, H: 100}
+	pts := GridPlacement(region, 9)
+	if len(pts) != 9 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// 3x3 grid: cells 33.3x33.3, centres at 16.67, 50, 83.3.
+	if pts[0].Dist(geom.Point{X: 100.0 / 6, Y: 100.0 / 6}) > 1e-9 {
+		t.Fatalf("first cell centre wrong: %v", pts[0])
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("grid point outside region: %v", p)
+		}
+	}
+	if GridPlacement(region, 0) != nil {
+		t.Fatal("n=0 should yield nil")
+	}
+}
+
+func TestLinePlacement(t *testing.T) {
+	pts := LinePlacement(4, 200)
+	want := []geom.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts = %v", pts)
+		}
+	}
+}
+
+// Property: waypoint positions are always inside the region, for arbitrary
+// query times (including repeated and unordered ones).
+func TestPropertyWaypointInRegion(t *testing.T) {
+	region := geom.Rect{W: 400, H: 250}
+	tr := NewWaypoint(WaypointConfig{Region: region, MinSpeed: 0.5, MaxSpeed: 25, Pause: 3 * time.Second},
+		geom.Point{X: 200, Y: 125}, rand.New(rand.NewSource(13)))
+	prop := func(ticks uint32) bool {
+		return region.Contains(tr.Position(sim.Time(ticks) * sim.Time(time.Millisecond)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWaypointPosition(b *testing.B) {
+	tr := NewWaypoint(WaypointConfig{Region: geom.Rect{W: 1000, H: 1000}, MinSpeed: 1, MaxSpeed: 20},
+		geom.Point{X: 1, Y: 1}, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Position(sim.Time(i%100000) * sim.Time(10*time.Millisecond))
+	}
+}

@@ -1,0 +1,298 @@
+// Package radio models the shared wireless medium of the MANET.
+//
+// The model is deliberately simple but exercises everything the protocol
+// observes: unit-disk connectivity from node positions, per-receiver random
+// loss, half-duplex serialization of each node's transmissions at a
+// configurable bitrate, contention jitter before broadcasts, and link-layer
+// acknowledgements for unicasts (modeling the 802.11 ACK, which is what DSR
+// route maintenance uses to detect broken links).
+//
+// Nodes are identified by a NodeID playing the role of the interface's MAC
+// address; IP-to-NodeID resolution is the upper layer's concern.
+package radio
+
+import (
+	"time"
+
+	"sbr6/internal/geom"
+	"sbr6/internal/sim"
+)
+
+// NodeID identifies a radio interface (the simulated MAC address).
+type NodeID int
+
+// Handler receives link-layer frames addressed to (or overheard by) a node.
+type Handler interface {
+	// Deliver is invoked once per received frame with the transmitter's
+	// NodeID and the payload. The payload slice must not be mutated.
+	Deliver(from NodeID, payload []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, payload []byte)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from NodeID, payload []byte) { f(from, payload) }
+
+// PositionFunc reports a node's position at a virtual time (mobility.Track).
+type PositionFunc func(t sim.Time) geom.Point
+
+// Config parameterizes the medium.
+type Config struct {
+	Range           float64       // unit-disk reception radius in metres
+	BitrateBps      float64       // transmission serialization rate; <=0 means instantaneous
+	LossRate        float64       // independent per-receiver frame loss probability [0,1)
+	PropDelay       time.Duration // fixed propagation + processing latency
+	BroadcastJitter time.Duration // uniform random delay before any transmission
+	MaxQueueDelay   time.Duration // frames that would start later than now+MaxQueueDelay are dropped (0 = unlimited)
+
+	// UnicastRetries is the number of link-layer retransmissions after an
+	// unacknowledged unicast (the 802.11 retry counter). Zero keeps every
+	// loss visible to the routing layer; broadcasts are never retried.
+	UnicastRetries int
+}
+
+// DefaultConfig mimics a 2 Mb/s 802.11-style radio with a 250 m range.
+func DefaultConfig() Config {
+	return Config{
+		Range:           250,
+		BitrateBps:      2e6,
+		LossRate:        0,
+		PropDelay:       5 * time.Microsecond,
+		BroadcastJitter: 2 * time.Millisecond,
+		MaxQueueDelay:   500 * time.Millisecond,
+	}
+}
+
+// Stats aggregates link-layer counters for overhead accounting.
+type Stats struct {
+	TxFrames      uint64
+	TxBytes       uint64
+	RxFrames      uint64
+	LostFrames    uint64 // in range but dropped by the loss process
+	QueueDrops    uint64 // dropped because the transmit queue was saturated
+	UnicastFails  uint64 // unicast attempts with no ACK (out of range, down, or lost)
+	Retries       uint64 // link-layer retransmissions triggered
+	BroadcastSent uint64
+	UnicastSent   uint64
+}
+
+type port struct {
+	id        NodeID
+	pos       PositionFunc
+	handler   Handler
+	busyUntil sim.Time
+	down      bool
+}
+
+// Medium is the shared channel all nodes transmit on.
+type Medium struct {
+	sim   *sim.Simulator
+	cfg   Config
+	ports map[NodeID]*port
+	order []NodeID // deterministic receiver iteration
+	stats Stats
+}
+
+// New creates a medium on the given simulator.
+func New(s *sim.Simulator, cfg Config) *Medium {
+	if cfg.Range <= 0 {
+		cfg.Range = 250
+	}
+	return &Medium{sim: s, cfg: cfg, ports: make(map[NodeID]*port)}
+}
+
+// Config returns the medium's configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the link-layer counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// AddNode attaches a node to the medium. Adding the same id twice panics:
+// that is always a harness bug.
+func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
+	if _, dup := m.ports[id]; dup {
+		panic("radio: duplicate NodeID")
+	}
+	if pos == nil || h == nil {
+		panic("radio: nil position or handler")
+	}
+	m.ports[id] = &port{id: id, pos: pos, handler: h}
+	m.order = append(m.order, id)
+}
+
+// SetDown marks a node as failed (true) or restored (false). Down nodes
+// neither transmit nor receive.
+func (m *Medium) SetDown(id NodeID, down bool) {
+	if p, ok := m.ports[id]; ok {
+		p.down = down
+	}
+}
+
+// PositionOf returns the node's current position.
+func (m *Medium) PositionOf(id NodeID) geom.Point {
+	return m.ports[id].pos(m.sim.Now())
+}
+
+// Neighbors returns the ids currently within range of id, in attachment
+// order. Down nodes are excluded.
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	p, ok := m.ports[id]
+	if !ok || p.down {
+		return nil
+	}
+	now := m.sim.Now()
+	at := p.pos(now)
+	r2 := m.cfg.Range * m.cfg.Range
+	var out []NodeID
+	for _, oid := range m.order {
+		if oid == id {
+			continue
+		}
+		o := m.ports[oid]
+		if o.down {
+			continue
+		}
+		if at.Dist2(o.pos(now)) <= r2 {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// InRange reports whether b currently hears a.
+func (m *Medium) InRange(a, b NodeID) bool {
+	pa, ok1 := m.ports[a]
+	pb, ok2 := m.ports[b]
+	if !ok1 || !ok2 || pa.down || pb.down {
+		return false
+	}
+	now := m.sim.Now()
+	return pa.pos(now).Dist2(pb.pos(now)) <= m.cfg.Range*m.cfg.Range
+}
+
+// txDuration returns the serialization time of a frame.
+func (m *Medium) txDuration(size int) sim.Duration {
+	if m.cfg.BitrateBps <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(size*8) / m.cfg.BitrateBps * float64(time.Second))
+}
+
+// Broadcast queues a link-layer broadcast from the given node. Delivery to
+// each in-range, up receiver happens after serialization + propagation,
+// subject to the loss process.
+func (m *Medium) Broadcast(from NodeID, payload []byte) {
+	m.transmit(from, payload, nil, nil)
+}
+
+// Unicast queues a link-layer unicast to a specific neighbour. acked, if
+// non-nil, is invoked exactly once when the (simulated) link-layer ACK
+// outcome is known: true when the frame was delivered, possibly after
+// Config.UnicastRetries retransmissions.
+func (m *Medium) Unicast(from, to NodeID, payload []byte, acked func(bool)) {
+	m.unicastAttempt(from, to, payload, acked, m.cfg.UnicastRetries)
+}
+
+func (m *Medium) unicastAttempt(from, to NodeID, payload []byte, acked func(bool), retries int) {
+	m.transmit(from, payload, &to, func(ok bool) {
+		if !ok && retries > 0 {
+			m.stats.Retries++
+			m.unicastAttempt(from, to, payload, acked, retries-1)
+			return
+		}
+		if acked != nil {
+			acked(ok)
+		}
+	})
+}
+
+func (m *Medium) transmit(from NodeID, payload []byte, to *NodeID, acked func(bool)) {
+	p, ok := m.ports[from]
+	if !ok {
+		panic("radio: transmit from unknown node")
+	}
+	if p.down {
+		m.stats.QueueDrops++
+		if acked != nil {
+			m.sim.After(0, func() { acked(false) })
+		}
+		return
+	}
+
+	now := m.sim.Now()
+	start := now.Add(m.sim.Jitter(m.cfg.BroadcastJitter))
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if m.cfg.MaxQueueDelay > 0 && start.Sub(now) > m.cfg.MaxQueueDelay {
+		m.stats.QueueDrops++
+		if acked != nil {
+			m.sim.After(0, func() { acked(false) })
+		}
+		return
+	}
+	dur := m.txDuration(len(payload))
+	p.busyUntil = start.Add(dur)
+
+	m.stats.TxFrames++
+	m.stats.TxBytes += uint64(len(payload))
+	if to == nil {
+		m.stats.BroadcastSent++
+	} else {
+		m.stats.UnicastSent++
+	}
+
+	end := start.Add(dur)
+	m.sim.At(end, func() {
+		m.complete(p, payload, to, acked)
+	})
+}
+
+// complete runs at the end of serialization: it samples receivers from
+// positions at that instant and schedules deliveries.
+func (m *Medium) complete(p *port, payload []byte, to *NodeID, acked func(bool)) {
+	if p.down { // went down mid-transmission
+		if acked != nil {
+			acked(false)
+		}
+		return
+	}
+	now := m.sim.Now()
+	at := p.pos(now)
+	r2 := m.cfg.Range * m.cfg.Range
+	delivered := false
+	for _, oid := range m.order {
+		if oid == p.id {
+			continue
+		}
+		o := m.ports[oid]
+		if o.down || at.Dist2(o.pos(now)) > r2 {
+			continue
+		}
+		if to != nil && oid != *to {
+			// A real radio would overhear unicasts too; the protocol does
+			// not rely on promiscuous mode, so unicast frames are delivered
+			// only to the addressee.
+			continue
+		}
+		if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+			m.stats.LostFrames++
+			continue
+		}
+		m.stats.RxFrames++
+		delivered = true
+		dst := o
+		m.sim.After(m.cfg.PropDelay, func() {
+			if !dst.down {
+				dst.handler.Deliver(p.id, payload)
+			}
+		})
+	}
+	if to != nil && !delivered {
+		m.stats.UnicastFails++
+	}
+	if acked != nil {
+		acked(delivered)
+	}
+}

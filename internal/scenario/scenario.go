@@ -1,0 +1,440 @@
+// Package scenario builds and runs complete MANET simulations from a
+// declarative configuration: node count and placement, mobility, radio
+// parameters, protocol variant, adversaries and traffic workload. It is the
+// shared substrate of the benchmark harness, the example programs and the
+// integration tests.
+//
+// Node 0 is always the DNS server, the network's single security anchor.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sbr6/internal/core"
+	"sbr6/internal/dnssrv"
+	"sbr6/internal/geom"
+	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
+	"sbr6/internal/mobility"
+	"sbr6/internal/radio"
+	"sbr6/internal/sim"
+	"sbr6/internal/trace"
+	"sbr6/internal/wire"
+)
+
+// Placement selects how nodes are laid out.
+type Placement int
+
+// Placement kinds.
+const (
+	PlaceUniform Placement = iota // uniform random in the area
+	PlaceGrid                     // centred grid cells
+	PlaceLine                     // horizontal chain (scripted topologies)
+)
+
+// MobilitySpec selects the mobility model. Zero value = static.
+type MobilitySpec struct {
+	Waypoint bool
+	MinSpeed float64 // m/s
+	MaxSpeed float64
+	Pause    time.Duration
+}
+
+// Flow is a constant-bit-rate traffic source running through the
+// measurement window.
+type Flow struct {
+	From, To int
+	Interval time.Duration
+	Size     int           // payload bytes
+	Start    time.Duration // offset into the measurement window
+}
+
+// Config describes a full experiment.
+type Config struct {
+	Seed int64
+	N    int // node count including the DNS server
+
+	Area      geom.Rect
+	Placement Placement
+	Spacing   float64 // PlaceLine spacing (default 200 m)
+	Mobility  MobilitySpec
+
+	Radio    radio.Config
+	Protocol core.Config
+	DNS      dnssrv.Config
+
+	// Names maps node index -> domain name registered during DAD.
+	Names map[int]string
+	// Preload maps domain name -> node index for permanent pre-provisioned
+	// DNS bindings (established "before network formation").
+	Preload map[string]int
+	// Behaviors maps node index -> adversarial behaviour.
+	Behaviors map[int]core.Behavior
+
+	// BootStagger separates consecutive DAD starts; defaults to the DAD
+	// timeout plus a margin so earlier nodes can relay for later ones.
+	BootStagger time.Duration
+	// Warmup runs after bootstrap before measurement starts.
+	Warmup time.Duration
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Cooldown lets in-flight packets land after the last send.
+	Cooldown time.Duration
+
+	Flows []Flow
+
+	// WindowSize, when positive, buckets sent/delivered counts into
+	// consecutive windows of the measurement phase so experiments can plot
+	// convergence over time (e.g. credits learning around a black hole).
+	WindowSize time.Duration
+}
+
+// DefaultConfig is a 25-node static uniform network under the secure
+// protocol with one CBR flow.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		N:         25,
+		Area:      geom.Rect{W: 1000, H: 1000},
+		Placement: PlaceUniform,
+		Radio:     radio.DefaultConfig(),
+		Protocol:  core.DefaultConfig(),
+		DNS:       dnssrv.DefaultConfig(),
+		Warmup:    2 * time.Second,
+		Duration:  30 * time.Second,
+		Cooldown:  5 * time.Second,
+		Flows:     []Flow{{From: 1, To: 2, Interval: 500 * time.Millisecond, Size: 64}},
+	}
+}
+
+// Scenario is a built simulation ready to run.
+type Scenario struct {
+	Cfg    Config
+	S      *sim.Simulator
+	Medium *radio.Medium
+	Nodes  []*core.Node
+	DNSSrv *dnssrv.Server
+
+	sent         map[flowPacket]sim.Time
+	result       *Result
+	flowStats    map[int]*flowStat
+	windows      []WindowStat
+	measureStart sim.Time
+}
+
+type flowPacket struct {
+	flow uint32
+	seq  uint32
+}
+
+type flowStat struct {
+	sent, delivered int
+}
+
+// windowIndex buckets a simulation instant into a measurement window.
+func (sc *Scenario) windowIndex(at sim.Time) int {
+	if sc.Cfg.WindowSize <= 0 {
+		return -1
+	}
+	off := at.Sub(sc.measureStart)
+	if off < 0 {
+		return -1
+	}
+	return int(off / sc.Cfg.WindowSize)
+}
+
+func (sc *Scenario) windowAt(idx int) *WindowStat {
+	if idx < 0 {
+		return nil
+	}
+	for len(sc.windows) <= idx {
+		sc.windows = append(sc.windows, WindowStat{
+			Start: time.Duration(len(sc.windows)) * sc.Cfg.WindowSize,
+		})
+	}
+	return &sc.windows[idx]
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Configured int // nodes that completed DAD
+	DADFailed  int
+
+	Sent      int // measured-window data packets offered
+	Delivered int
+	PDR       float64 // delivery ratio
+
+	LatencyMean float64 // seconds
+	LatencyP95  float64
+
+	ControlBytes float64 // summed over nodes
+	DataBytes    float64
+	CryptoSign   float64
+	CryptoVerify float64
+
+	Link radio.Stats
+
+	Metrics *trace.Metrics // merged node counters
+	PerFlow map[int]FlowResult
+	// Windows holds per-window delivery counts when Config.WindowSize > 0.
+	Windows []WindowStat
+}
+
+// FlowResult is one flow's delivery outcome.
+type FlowResult struct {
+	Sent, Delivered int
+}
+
+// WindowStat is one time bucket of the measurement phase.
+type WindowStat struct {
+	Start     time.Duration // offset from measurement start
+	Sent      int
+	Delivered int
+}
+
+// PDR returns the window's delivery ratio (0 when nothing was sent).
+func (w WindowStat) PDR() float64 {
+	if w.Sent == 0 {
+		return 0
+	}
+	return float64(w.Delivered) / float64(w.Sent)
+}
+
+// Build constructs the network (deterministically from Cfg.Seed) without
+// running it.
+func Build(cfg Config) (*Scenario, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 nodes, got %d", cfg.N)
+	}
+	if cfg.BootStagger <= 0 {
+		cfg.BootStagger = cfg.Protocol.DAD.Timeout + 200*time.Millisecond
+		if cfg.BootStagger <= 200*time.Millisecond {
+			cfg.BootStagger = 3200 * time.Millisecond
+		}
+	}
+	if cfg.Spacing <= 0 {
+		cfg.Spacing = 200
+	}
+
+	s := sim.New(cfg.Seed)
+	medium := radio.New(s, cfg.Radio)
+	sc := &Scenario{
+		Cfg: cfg, S: s, Medium: medium,
+		sent:      make(map[flowPacket]sim.Time),
+		flowStats: make(map[int]*flowStat),
+	}
+
+	// Placement.
+	placeRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7f4a7c15))
+	var positions []geom.Point
+	switch cfg.Placement {
+	case PlaceGrid:
+		positions = mobility.GridPlacement(cfg.Area, cfg.N)
+	case PlaceLine:
+		positions = mobility.LinePlacement(cfg.N, cfg.Spacing)
+	default:
+		positions = mobility.UniformPlacement(cfg.Area, cfg.N, placeRng)
+	}
+
+	// Identities. The DNS key pair is node 0's.
+	dnsIdent, err := identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000)), cfg.Names[0])
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		var ident *identity.Identity
+		if i == 0 {
+			ident = dnsIdent
+		} else {
+			ident, err = identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000+int64(i))), cfg.Names[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 9000 + int64(i)))
+		n := core.New(s, medium, radio.NodeID(i), ident, dnsIdent.Pub, cfg.Protocol, rng, nil)
+		if i == 0 {
+			dcfg := cfg.DNS
+			dcfg.Suite = cfg.Protocol.Suite
+			sc.DNSSrv = dnssrv.New(s, rng, dnsIdent, dcfg, nil)
+			n.AttachDNS(sc.DNSSrv)
+		}
+		if b, hostile := cfg.Behaviors[i]; hostile {
+			n.Behavior = b
+		}
+		var track mobility.Track
+		if cfg.Mobility.Waypoint {
+			track = mobility.NewWaypoint(mobility.WaypointConfig{
+				Region:   cfg.Area,
+				MinSpeed: cfg.Mobility.MinSpeed,
+				MaxSpeed: cfg.Mobility.MaxSpeed,
+				Pause:    cfg.Mobility.Pause,
+			}, positions[i], rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
+		} else {
+			track = mobility.Static(positions[i])
+		}
+		medium.AddNode(radio.NodeID(i), track.Position, n)
+		sc.Nodes = append(sc.Nodes, n)
+	}
+
+	// Permanent DNS bindings exist before the network forms.
+	for name, idx := range cfg.Preload {
+		if idx < 0 || idx >= cfg.N {
+			return nil, fmt.Errorf("scenario: preload %q references node %d", name, idx)
+		}
+		sc.DNSSrv.Preload(name, sc.Nodes[idx].Addr())
+	}
+	return sc, nil
+}
+
+// Bootstrap staggers DAD across nodes and runs until the last objection
+// window closes. It returns how many nodes configured successfully.
+func (sc *Scenario) Bootstrap() int {
+	for i, n := range sc.Nodes {
+		n := n
+		sc.S.After(time.Duration(i)*sc.Cfg.BootStagger, n.Start)
+	}
+	total := time.Duration(sc.Cfg.N)*sc.Cfg.BootStagger + sc.Cfg.Protocol.DAD.Timeout + 2*time.Second
+	sc.S.RunFor(total)
+	configured := 0
+	for _, n := range sc.Nodes {
+		if n.Configured() {
+			configured++
+		}
+	}
+	return configured
+}
+
+// Run executes the full experiment: bootstrap, warmup, measured traffic,
+// cooldown; it returns the aggregated result.
+func (sc *Scenario) Run() *Result {
+	res := &Result{Metrics: trace.NewMetrics(), PerFlow: make(map[int]FlowResult)}
+	sc.result = res
+
+	res.Configured = sc.Bootstrap()
+	res.DADFailed = sc.Cfg.N - res.Configured
+
+	sc.S.RunFor(sc.Cfg.Warmup)
+	sc.measureStart = sc.S.Now()
+	sc.startFlows()
+	sc.S.RunFor(sc.Cfg.Duration + sc.Cfg.Cooldown)
+
+	// Aggregate.
+	lat := trace.NewMetrics()
+	for fi, st := range sc.flowStats {
+		res.Sent += st.sent
+		res.Delivered += st.delivered
+		res.PerFlow[fi] = FlowResult{Sent: st.sent, Delivered: st.delivered}
+	}
+	if res.Sent > 0 {
+		res.PDR = float64(res.Delivered) / float64(res.Sent)
+	}
+	for _, n := range sc.Nodes {
+		res.Metrics.Merge(n.Metrics())
+	}
+	lat.Merge(res.Metrics)
+	res.LatencyMean = res.Metrics.Mean("e2e.latency_s")
+	res.LatencyP95 = res.Metrics.Quantile("e2e.latency_s", 0.95)
+	res.ControlBytes = res.Metrics.Get("tx.bytes.control")
+	res.DataBytes = res.Metrics.Get("tx.bytes.data")
+	res.CryptoSign = res.Metrics.Get("crypto.sign")
+	res.CryptoVerify = res.Metrics.Get("crypto.verify")
+	res.Link = sc.Medium.Stats()
+	res.Windows = sc.windows
+	return res
+}
+
+// startFlows schedules the CBR sources across the measurement window and
+// hooks delivery tracking at each sink.
+func (sc *Scenario) startFlows() {
+	for fi, f := range sc.Cfg.Flows {
+		fi, f := fi, f
+		if f.From < 0 || f.From >= sc.Cfg.N || f.To < 0 || f.To >= sc.Cfg.N || f.From == f.To {
+			continue
+		}
+		st := &flowStat{}
+		sc.flowStats[fi] = st
+		src, dst := sc.Nodes[f.From], sc.Nodes[f.To]
+		flowID := uint32(fi + 1)
+
+		prevOnData := dst.OnData
+		dst.OnData = func(from ipv6.Addr, d *wire.Data) {
+			if prevOnData != nil {
+				prevOnData(from, d)
+			}
+			if d.FlowID != flowID {
+				return
+			}
+			key := flowPacket{d.FlowID, d.Seq}
+			sentAt, tracked := sc.sent[key]
+			if !tracked {
+				return // duplicate or out-of-window
+			}
+			delete(sc.sent, key)
+			st.delivered++
+			src.Metrics().Observe("e2e.latency_s", sc.S.Now().Sub(sentAt).Seconds())
+			// Deliveries are attributed to the window the packet was SENT
+			// in, so window PDRs are well defined.
+			if w := sc.windowAt(sc.windowIndex(sentAt)); w != nil {
+				w.Delivered++
+			}
+		}
+
+		interval := f.Interval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		count := int((sc.Cfg.Duration - f.Start) / interval)
+		payload := make([]byte, f.Size)
+		for k := 0; k < count; k++ {
+			at := f.Start + time.Duration(k)*interval
+			sc.S.After(at, func() {
+				_, seq := src.SendFlow(dst.Addr(), flowID, payload)
+				sc.sent[flowPacket{flowID, seq}] = sc.S.Now()
+				st.sent++
+				if w := sc.windowAt(sc.windowIndex(sc.S.Now())); w != nil {
+					w.Sent++
+				}
+			})
+		}
+	}
+}
+
+// Components returns the connected components of the unit-disk graph at
+// the current instant, as slices of node indices. Experiments use it to
+// distinguish protocol failures from plain partitions.
+func (sc *Scenario) Components() [][]int {
+	n := sc.Cfg.N
+	visited := make([]bool, n)
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		comp := []int{start}
+		visited[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, nb := range sc.Medium.Neighbors(radio.NodeID(comp[i])) {
+				if !visited[int(nb)] {
+					visited[int(nb)] = true
+					comp = append(comp, int(nb))
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether every node can currently reach every other.
+func (sc *Scenario) Connected() bool { return len(sc.Components()) == 1 }
+
+// String renders a one-line summary of the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("pdr=%.3f (%d/%d) latency=%.3fs ctrl=%.0fB data=%.0fB sign=%.0f verify=%.0f dad=%d/%d",
+		r.PDR, r.Delivered, r.Sent, r.LatencyMean, r.ControlBytes, r.DataBytes,
+		r.CryptoSign, r.CryptoVerify, r.Configured, r.Configured+r.DADFailed)
+}

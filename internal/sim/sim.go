@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel keeps a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order, which — together
+// with a seeded random source — makes every simulation run exactly
+// reproducible. All protocol code in this repository is driven by this clock;
+// nothing reads wall time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// String formats the timestamp as seconds with millisecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// Seconds returns the timestamp as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier time u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a single scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO for equal timestamps
+	fn  func()
+	idx int // heap index, -1 when popped
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event scheduler.
+//
+// It is intentionally not safe for concurrent use: determinism is the whole
+// point, and all model code runs inside event callbacks on one goroutine.
+type Simulator struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	rng       *rand.Rand
+	processed uint64
+	stopped   bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have fired so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are waiting in the queue.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the current instant) runs the event at the current time, after all events
+// already scheduled for that time.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{sim: s, ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative durations are
+// clamped to zero.
+func (s *Simulator) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event. It reports false when the queue is
+// empty or the simulator has been stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.processed++
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline and then sets the
+// clock to deadline (if it has not already passed it).
+func (s *Simulator) RunUntil(deadline Time) {
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d virtual time.
+func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	sim *Simulator
+	ev  *event
+}
+
+// Cancel removes the event from the queue if it has not fired yet.
+// It reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.sim.queue, t.ev.idx)
+	t.ev.fn = nil
+	t.ev = nil
+	return true
+}
+
+// Pending reports whether the event is still queued.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+
+// Jitter returns a uniformly random duration in [0, max). A non-positive max
+// yields zero. Protocol code uses this for broadcast desynchronization.
+func (s *Simulator) Jitter(max Duration) Duration {
+	if max <= 0 {
+		return 0
+	}
+	return Duration(s.rng.Int63n(int64(max)))
+}

