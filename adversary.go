@@ -1,0 +1,115 @@
+package sbr6
+
+import (
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/core"
+	"sbr6/internal/scenario"
+	"sbr6/internal/sim"
+	"sbr6/internal/wire"
+)
+
+// Adversary places one of the paper's Section 4 attackers on a node.
+// Construct values with the functions below; the zero value is rejected
+// by NewScenario. Adversary state (drop counters, forged-reply counts) is
+// created fresh for every run, so batch replicates never share it; read it
+// back from a built Network with AdversaryState.
+type Adversary struct {
+	node   int
+	victim int // Impersonate only
+	kind   string
+	build  func() core.Behavior
+	bind   func(b core.Behavior, sc *scenario.Scenario)
+}
+
+// Node returns the node index the adversary occupies.
+func (a Adversary) Node() int { return a.node }
+
+// Kind returns a short human-readable label for the attack.
+func (a Adversary) Kind() string { return a.kind }
+
+// BlackHole is an insider: it holds a valid identity, relays route
+// discovery honestly, and silently swallows the data plane — the adversary
+// the credit mechanism exists for.
+func BlackHole(node int) Adversary {
+	return Adversary{node: node, kind: "black hole",
+		build: func() core.Behavior { return &attack.BlackHole{} }}
+}
+
+// ForgingBlackHole additionally forges cached-route replies to attract
+// traffic ("announce having good routes leading to all other hosts").
+// Plain DSR believes the forgery; the secure protocol rejects it.
+func ForgingBlackHole(node int) Adversary {
+	return Adversary{node: node, kind: "forging black hole",
+		build: func() core.Behavior { return &attack.BlackHole{ForgeCacheReplies: true} }}
+}
+
+// GrayHole drops each relayed data packet independently with probability p.
+func GrayHole(node int, p float64) Adversary {
+	return Adversary{node: node, kind: "gray hole",
+		build: func() core.Behavior { return &attack.GrayHole{P: p} }}
+}
+
+// RERRSpammer drops data it should relay and reports fabricated link
+// breaks; per-report the lie is unfalsifiable, but its frequency flags it.
+func RERRSpammer(node int) Adversary {
+	return Adversary{node: node, kind: "RERR spammer",
+		build: func() core.Behavior { return &attack.RERRSpammer{} }}
+}
+
+// FakeDNS impersonates the DNS server, answering relayed queries with the
+// attacker's own address. Without the anchor's key the signature cannot be
+// produced, so secure clients reject it.
+func FakeDNS(node int) Adversary {
+	return Adversary{node: node, kind: "fake DNS",
+		build: func() core.Behavior { return &attack.FakeDNS{} }}
+}
+
+// Impersonate answers route discoveries for victim (a node index) with
+// replies naming the victim's address, then consumes any data that
+// arrives.
+func Impersonate(node, victim int) Adversary {
+	return Adversary{node: node, victim: victim, kind: "impersonator",
+		build: func() core.Behavior { return &attack.Impersonator{} },
+		bind: func(b core.Behavior, sc *scenario.Scenario) {
+			b.(*attack.Impersonator).Victim = sc.Nodes[victim].Addr()
+		}}
+}
+
+// Replay captures control frames and re-broadcasts them after delay,
+// exercising the replay analysis of Section 4.
+func Replay(node int, delay time.Duration) Adversary {
+	return Adversary{node: node, kind: "replayer",
+		build: func() core.Behavior { return &attack.Replayer{Delay: delay} }}
+}
+
+// IdentityChurner is a forging black hole that draws a fresh CGA identity
+// every interval, shedding accumulated punishment; the low-initial-credit
+// rule is the countermeasure.
+func IdentityChurner(node int, every time.Duration) Adversary {
+	return Adversary{node: node, kind: "identity churner",
+		build: func() core.Behavior {
+			c := &attack.IdentityChurner{Every: every}
+			c.ForgeCacheReplies = true
+			return c
+		}}
+}
+
+// tapBehavior is the pass-through behavior WithTap installs on honest
+// nodes: it records every reception and never alters the pipeline.
+type tapBehavior struct {
+	f    func(TapEvent)
+	node int
+}
+
+// Intercept implements core.Behavior.
+func (t *tapBehavior) Intercept(n *core.Node, pkt *wire.Packet, raw []byte) bool {
+	t.f(TapEvent{Node: t.node, At: sinceStart(n.Sim().Now()), Desc: pkt.String()})
+	return false
+}
+
+// DropForward implements core.Behavior.
+func (t *tapBehavior) DropForward(*core.Node, *wire.Packet) bool { return false }
+
+func sinceStart(t sim.Time) time.Duration { return time.Duration(t) }

@@ -3,64 +3,53 @@ package sbr6
 // One benchmark per reproduced artifact (DESIGN.md experiment index).
 // Table/figure regeneration itself is cmd/sbrbench; these benches measure
 // the hot path behind each artifact so regressions show up in -bench runs.
+// Simulation-driven benchmarks go through the public facade — the same
+// surface every other consumer uses.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
 
 	"sbr6/internal/attack"
 	"sbr6/internal/cga"
-	"sbr6/internal/core"
-	"sbr6/internal/geom"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
-	"sbr6/internal/scenario"
 	"sbr6/internal/wire"
 )
 
 // --- shared scenario builders ---
 
-func benchProtocol(secure bool) core.Config {
-	var cfg core.Config
-	if secure {
-		cfg = core.DefaultConfig()
-	} else {
-		cfg = core.BaselineConfig()
-	}
-	cfg.DAD.Timeout = 300 * time.Millisecond
-	cfg.DiscoveryTimeout = 500 * time.Millisecond
-	cfg.AckTimeout = 400 * time.Millisecond
-	cfg.ResolveTimeout = 2 * time.Second
-	return cfg
-}
-
-func benchGrid(seed int64, n int, secure bool) scenario.Config {
-	side := 1
-	for side*side < n {
-		side++
-	}
-	cfg := scenario.DefaultConfig()
-	cfg.Seed = seed
-	cfg.N = n
-	cfg.Placement = scenario.PlaceGrid
-	cfg.Area = geom.Rect{W: 200 * float64(side), H: 200 * float64(side)}
-	cfg.Protocol = benchProtocol(secure)
-	cfg.DNS.CommitDelay = 300 * time.Millisecond
-	cfg.Warmup = time.Second
-	cfg.Duration = 10 * time.Second
-	cfg.Cooldown = 2 * time.Second
-	cfg.Flows = []scenario.Flow{{From: 1, To: n - 1, Interval: 500 * time.Millisecond, Size: 64}}
-	return cfg
-}
-
-func runScenario(b *testing.B, cfg scenario.Config) *scenario.Result {
+func benchSpec(b *testing.B, seed int64, n int, secure bool, extra ...Option) *Scenario {
 	b.Helper()
-	sc, err := scenario.Build(cfg)
+	opts := []Option{
+		WithSeed(seed),
+		WithNodes(n),
+		WithPlacement(PlaceGrid),
+		WithFastTimers(),
+		WithWarmup(time.Second),
+		WithDuration(10 * time.Second),
+		WithCooldown(2 * time.Second),
+		WithFlows(Flow{From: 1, To: n - 1, Interval: 500 * time.Millisecond, Size: 64}),
+	}
+	if !secure {
+		opts = append(opts, WithBaseline())
+	}
+	sc, err := NewScenario(append(opts, extra...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return sc.Run()
+	return sc
+}
+
+func benchRun(b *testing.B, sc *Scenario) *Result {
+	b.Helper()
+	res, err := (&Runner{}).Run(context.Background(), sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
 }
 
 // --- T1: message codec ---
@@ -149,13 +138,12 @@ func BenchmarkFigure1CGA(b *testing.B) {
 func BenchmarkFigure2DAD(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 9, true)
-		cfg.Flows = nil
-		sc, err := scenario.Build(cfg)
+		sc := benchSpec(b, int64(i+1), 9, true, WithFlows())
+		nw, err := sc.Build()
 		if err != nil {
 			b.Fatal(err)
 		}
-		if got := sc.Bootstrap(); got != 9 {
+		if got := nw.Bootstrap(); got != 9 {
 			b.Fatalf("configured %d/9", got)
 		}
 	}
@@ -171,12 +159,12 @@ func BenchmarkFigure3RouteDiscovery(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				cfg := benchGrid(int64(i+1), 9, mode.secure)
-				cfg.Placement = scenario.PlaceLine
-				cfg.Flows = []scenario.Flow{{From: 1, To: 8, Interval: time.Second, Size: 64}}
-				cfg.Duration = 5 * time.Second
-				res := runScenario(b, cfg)
-				if res.Delivered == 0 {
+				sc := benchSpec(b, int64(i+1), 9, mode.secure,
+					WithPlacement(PlaceLine),
+					WithFlows(Flow{From: 1, To: 8, Interval: time.Second, Size: 64}),
+					WithDuration(5*time.Second),
+				)
+				if res := benchRun(b, sc); res.Delivered == 0 {
 					b.Fatal("nothing delivered")
 				}
 			}
@@ -189,21 +177,22 @@ func BenchmarkFigure3RouteDiscovery(b *testing.B) {
 func BenchmarkSection4DNSImpersonation(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 5, true)
-		cfg.Placement = scenario.PlaceLine
-		cfg.Names = map[int]string{3: "server"}
-		cfg.Behaviors = map[int]core.Behavior{1: &attack.FakeDNS{}}
-		cfg.Flows = nil
-		sc, err := scenario.Build(cfg)
+		sc := benchSpec(b, int64(i+1), 5, true,
+			WithPlacement(PlaceLine),
+			WithName(3, "server"),
+			WithAdversaries(FakeDNS(1)),
+			WithFlows(),
+		)
+		nw, err := sc.Build()
 		if err != nil {
 			b.Fatal(err)
 		}
-		sc.Bootstrap()
+		nw.Bootstrap()
 		poisoned := false
-		sc.Nodes[2].Resolve("server", func(a ipv6.Addr, ok bool) {
-			poisoned = ok && a == sc.Nodes[1].Addr()
+		nw.Node(2).Resolve("server", func(a Addr, ok bool) {
+			poisoned = ok && a == nw.Node(1).Addr()
 		})
-		sc.S.RunFor(8 * time.Second)
+		nw.RunFor(8 * time.Second)
 		if poisoned {
 			b.Fatal("secure client poisoned")
 		}
@@ -215,11 +204,11 @@ func BenchmarkSection4DNSImpersonation(b *testing.B) {
 func BenchmarkSection4BlackHole(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 9, true)
-		cfg.Behaviors = map[int]core.Behavior{4: &attack.BlackHole{}}
-		cfg.Duration = 15 * time.Second
-		res := runScenario(b, cfg)
-		if res.Sent == 0 {
+		sc := benchSpec(b, int64(i+1), 9, true,
+			WithAdversaries(BlackHole(4)),
+			WithDuration(15*time.Second),
+		)
+		if res := benchRun(b, sc); res.Sent == 0 {
 			b.Fatal("no traffic")
 		}
 	}
@@ -230,19 +219,18 @@ func BenchmarkSection4BlackHole(b *testing.B) {
 func BenchmarkSection4ForgeReplay(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 5, true)
-		cfg.Placement = scenario.PlaceLine
-		im := &attack.Impersonator{}
-		cfg.Behaviors = map[int]core.Behavior{2: im}
-		cfg.Flows = []scenario.Flow{{From: 1, To: 4, Interval: time.Second, Size: 32}}
-		cfg.Duration = 5 * time.Second
-		sc, err := scenario.Build(cfg)
+		sc := benchSpec(b, int64(i+1), 5, true,
+			WithPlacement(PlaceLine),
+			WithAdversaries(Impersonate(2, 4)),
+			WithFlows(Flow{From: 1, To: 4, Interval: time.Second, Size: 32}),
+			WithDuration(5*time.Second),
+		)
+		nw, err := sc.Build()
 		if err != nil {
 			b.Fatal(err)
 		}
-		im.Victim = sc.Nodes[4].Addr()
-		sc.Run()
-		if im.StolenData != 0 {
+		nw.Run()
+		if im := nw.AdversaryState(2).(*attack.Impersonator); im.StolenData != 0 {
 			b.Fatal("secure protocol leaked data")
 		}
 	}
@@ -253,12 +241,13 @@ func BenchmarkSection4ForgeReplay(b *testing.B) {
 func BenchmarkSection4RERR(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 9, true)
-		cfg.Protocol.RERRThreshold = 3
-		cfg.Behaviors = map[int]core.Behavior{4: &attack.RERRSpammer{}}
-		cfg.Flows = []scenario.Flow{{From: 1, To: 8, Interval: 400 * time.Millisecond, Size: 32}}
-		cfg.Duration = 15 * time.Second
-		runScenario(b, cfg)
+		sc := benchSpec(b, int64(i+1), 9, true,
+			WithRERRThreshold(3),
+			WithAdversaries(RERRSpammer(4)),
+			WithFlows(Flow{From: 1, To: 8, Interval: 400 * time.Millisecond, Size: 32}),
+			WithDuration(15*time.Second),
+		)
+		benchRun(b, sc)
 	}
 }
 
@@ -272,7 +261,7 @@ func BenchmarkE1Overhead(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := runScenario(b, benchGrid(int64(i+1), 16, mode.secure))
+				res := benchRun(b, benchSpec(b, int64(i+1), 16, mode.secure))
 				if res.PDR < 0.9 {
 					b.Fatalf("PDR = %v", res.PDR)
 				}
@@ -309,12 +298,12 @@ func BenchmarkE2SuiteAblation(b *testing.B) {
 func BenchmarkE3CreditConvergence(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cfg := benchGrid(int64(i+1), 9, true)
-		cfg.Behaviors = map[int]core.Behavior{4: &attack.BlackHole{}}
-		cfg.Duration = 20 * time.Second
-		cfg.WindowSize = 5 * time.Second
-		res := runScenario(b, cfg)
-		if len(res.Windows) == 0 {
+		sc := benchSpec(b, int64(i+1), 9, true,
+			WithAdversaries(BlackHole(4)),
+			WithDuration(20*time.Second),
+			WithWindows(5*time.Second),
+		)
+		if res := benchRun(b, sc); len(res.Windows) == 0 {
 			b.Fatal("no windows recorded")
 		}
 	}
@@ -328,5 +317,22 @@ func BenchmarkE4Collision(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cga.TruncatedID(pub, uint64(i), 16)
+	}
+}
+
+// --- the batch runner itself: parallel fan-out over seed replicates ---
+
+func BenchmarkRunnerBatch(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc := benchSpec(b, 1, 9, true)
+				r := &Runner{Workers: workers}
+				if _, err := r.RunBatch(context.Background(), sc, SeedRange(int64(i*4+1), 4)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

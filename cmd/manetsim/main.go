@@ -1,7 +1,7 @@
-// Command manetsim runs a single configurable MANET simulation and prints
-// the delivery, overhead and security counters. It is the general-purpose
-// front end to the scenario harness; cmd/sbrbench drives the same harness
-// through the fixed experiment definitions.
+// Command manetsim runs configurable MANET simulations and prints the
+// delivery, overhead and security counters. It is the general-purpose
+// front end to the public sbr6 facade; cmd/sbrbench drives the same
+// facade through the fixed experiment definitions.
 //
 // Examples:
 //
@@ -9,20 +9,20 @@
 //	manetsim -n 25 -secure=false -flows 4           # plain DSR baseline
 //	manetsim -n 25 -blackholes 2 -duration 30s      # insider black holes
 //	manetsim -n 30 -waypoint -speed 5 -loss 0.05    # mobile, lossy
+//	manetsim -n 16 -reps 8 -blackholes 1            # parallel multi-seed batch
+//	manetsim -n 9 -windows 5s -progress             # stream per-window PDR
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"sbr6/internal/attack"
-	"sbr6/internal/core"
-	"sbr6/internal/geom"
-	"sbr6/internal/scenario"
+	"sbr6"
 	"sbr6/internal/trace"
-	"sbr6/internal/wire"
 )
 
 func main() {
@@ -30,13 +30,17 @@ func main() {
 		n          = flag.Int("n", 25, "node count (node 0 is the DNS server)")
 		secure     = flag.Bool("secure", true, "secure protocol (false = plain DSR)")
 		credits    = flag.Bool("credits", true, "credit management (secure mode)")
-		seed       = flag.Int64("seed", 1, "simulation seed")
+		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -reps)")
+		reps       = flag.Int("reps", 1, "seed replicates, fanned out across the worker pool")
+		workers    = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
 		area       = flag.Float64("area", 0, "square area side in metres (0 = grid-sized)")
 		rng        = flag.Float64("range", 250, "radio range in metres")
 		loss       = flag.Float64("loss", 0, "per-receiver frame loss probability")
 		waypoint   = flag.Bool("waypoint", false, "random waypoint mobility")
 		speed      = flag.Float64("speed", 5, "max waypoint speed m/s")
 		duration   = flag.Duration("duration", 30*time.Second, "measurement window")
+		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
+		progress   = flag.Bool("progress", false, "stream per-run and per-window progress to stderr")
 		flows      = flag.Int("flows", 2, "number of CBR flows")
 		interval   = flag.Duration("interval", 500*time.Millisecond, "packet interval per flow")
 		size       = flag.Int("size", 64, "payload bytes")
@@ -48,99 +52,148 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := scenario.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.N = *n
-	if *secure {
-		cfg.Protocol = core.DefaultConfig()
-	} else {
-		cfg.Protocol = core.BaselineConfig()
+	opts := []sbr6.Option{
+		sbr6.WithSeed(*seed),
+		sbr6.WithNodes(*n),
+		sbr6.WithDADTimeout(500 * time.Millisecond),
+		sbr6.WithDNSCommitDelay(500 * time.Millisecond),
+		sbr6.WithDuration(*duration),
+		sbr6.WithRadioRange(*rng),
 	}
-	cfg.Protocol.UseCredits = *secure && *credits
-	cfg.Protocol.ProbeOnLoss = *secure && *credits
-	cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
-	cfg.DNS.CommitDelay = 500 * time.Millisecond
-	cfg.Duration = *duration
-
-	side := 1
-	for side*side < *n {
-		side++
+	if !*secure {
+		opts = append(opts, sbr6.WithBaseline())
 	}
+	opts = append(opts, sbr6.WithCredits(*secure && *credits))
 	if *area > 0 {
-		cfg.Area = geom.Rect{W: *area, H: *area}
-		cfg.Placement = scenario.PlaceUniform
+		opts = append(opts, sbr6.WithArea(*area, *area), sbr6.WithPlacement(sbr6.PlaceUniform))
 	} else {
-		cfg.Area = geom.Rect{W: 200 * float64(side), H: 200 * float64(side)}
-		cfg.Placement = scenario.PlaceGrid
+		opts = append(opts, sbr6.WithPlacement(sbr6.PlaceGrid)) // area auto-sizes to 200 m cells
 	}
-	cfg.Radio.Range = *rng
-	cfg.Radio.LossRate = *loss
+	if *loss > 0 {
+		opts = append(opts, sbr6.WithLoss(*loss))
+	}
 	if *waypoint {
-		cfg.Mobility = scenario.MobilitySpec{Waypoint: true, MinSpeed: 1, MaxSpeed: *speed, Pause: 2 * time.Second}
+		opts = append(opts, sbr6.WithMobility(sbr6.Mobility{MinSpeed: 1, MaxSpeed: *speed, Pause: 2 * time.Second}))
+	}
+	if *windows > 0 {
+		opts = append(opts, sbr6.WithWindows(*windows))
 	}
 
 	// Flows between deterministic distinct pairs, skipping the DNS node.
-	for f := 0; f < *flows; f++ {
+	// Guarded on the node count so that degenerate -n values reach the
+	// facade's validation instead of dividing by zero here.
+	var flowList []sbr6.Flow
+	for f := 0; *n >= 2 && f < *flows; f++ {
 		from := 1 + (f*2)%(*n-1)
 		to := 1 + (f*2+(*n-1)/2)%(*n-1)
 		if from == to {
 			to = 1 + (to)%(*n-1)
 		}
-		cfg.Flows = append(cfg.Flows, scenario.Flow{From: from, To: to, Interval: *interval, Size: *size})
+		if from == to {
+			continue // tiny networks cannot host this flow
+		}
+		flowList = append(flowList, sbr6.Flow{From: from, To: to, Interval: *interval, Size: *size})
 	}
+	opts = append(opts, sbr6.WithFlows(flowList...))
+
+	// Adversary placement: attackers occupy central grid positions.
+	side := 1
+	for side*side < *n {
+		side++
+	}
+	mid := (side/2)*side + side/2
+	var advs []sbr6.Adversary
+	taken := map[int]bool{}
+	place := func(idx int, mk func(int) sbr6.Adversary) {
+		if *n < 2 || len(taken) >= *n-1 {
+			// Out of non-anchor slots: refuse rather than silently run a
+			// weaker attack than the flags requested. (n < 2 still falls
+			// through to the facade's WithNodes error.)
+			if *n >= 2 {
+				fmt.Fprintf(os.Stderr, "manetsim: %d adversaries requested but only %d non-anchor nodes exist\n",
+					*blackholes+*spammers, *n-1)
+				os.Exit(2)
+			}
+			return
+		}
+		for taken[idx] || idx == 0 {
+			idx = (idx + 1) % *n
+		}
+		taken[idx] = true
+		advs = append(advs, mk(idx))
+	}
+	for b := 0; b < *blackholes; b++ {
+		mk := sbr6.BlackHole
+		if *forging {
+			mk = sbr6.ForgingBlackHole
+		}
+		place((mid+b)%*n, mk)
+	}
+	for sp := 0; sp < *spammers; sp++ {
+		place((mid-1-sp+*n)%*n, sbr6.RERRSpammer)
+	}
+	opts = append(opts, sbr6.WithAdversaries(advs...))
 
 	var tr *tracer
 	if *traceN > 0 {
+		if *reps > 1 {
+			fmt.Fprintln(os.Stderr, "manetsim: -trace requires a single run (-reps 1); batch replicates would interleave")
+			os.Exit(2)
+		}
 		tr = &tracer{limit: *traceN}
+		opts = append(opts, sbr6.WithTap(tr.record))
 	}
 
-	cfg.Behaviors = map[int]core.Behavior{}
-	mid := (side/2)*side + side/2
-	for b := 0; b < *blackholes; b++ {
-		idx := (mid + b) % *n
-		if idx == 0 {
-			idx = mid
-		}
-		cfg.Behaviors[idx] = &attack.BlackHole{ForgeCacheReplies: *forging}
-	}
-	for sp := 0; sp < *spammers; sp++ {
-		idx := (mid - 1 - sp + *n) % *n
-		if idx == 0 {
-			idx = 1
-		}
-		cfg.Behaviors[idx] = &attack.RERRSpammer{}
-	}
-
-	if tr != nil {
-		// Tap every node without an adversarial behaviour.
-		for i := 0; i < *n; i++ {
-			if _, taken := cfg.Behaviors[i]; !taken {
-				cfg.Behaviors[i] = &tapBehavior{tr: tr, node: i}
-			}
-		}
-	}
-
-	sc, err := scenario.Build(cfg)
+	sc, err := sbr6.NewScenario(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	start := time.Now()
-	res := sc.Run()
 
+	runner := &sbr6.Runner{Workers: *workers}
+	if *progress {
+		runner.Observer = sbr6.NewProgressObserver(os.Stderr)
+	}
+	// Ctrl-C cancels the batch; replicates that already finished are
+	// still aggregated and reported by the error path below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("manetsim: n=%d secure=%v credits=%v blackholes=%d(forge=%v) spammers=%d seed=%d reps=%d\n\n",
+		*n, *secure, *secure && *credits, *blackholes, *forging, *spammers, *seed, *reps)
+
+	start := time.Now()
+	if *reps > 1 {
+		batch, err := runner.RunBatch(ctx, sc, sbr6.SeedRange(*seed, *reps))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if batch != nil && batch.Completed() > 0 {
+				fmt.Fprintf(os.Stderr, "reporting the %d replicates that completed\n", batch.Completed())
+				printBatch(batch, time.Since(start))
+			}
+			os.Exit(1)
+		}
+		printBatch(batch, time.Since(start))
+		return
+	}
+	res, err := runner.Run(ctx, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if tr != nil {
 		tt := trace.NewTable(fmt.Sprintf("first %d packet receptions", len(tr.rows)), "t", "node", "packet")
 		for _, r := range tr.rows {
-			tt.Add(r.at, fmt.Sprint(r.node), r.desc)
+			tt.Add(fmt.Sprintf("%.3fs", r.At.Seconds()), fmt.Sprint(r.Node), r.Desc)
 		}
 		fmt.Println(tt.String())
 	}
+	printSingle(res, *n, time.Since(start), *verbose)
+}
 
-	fmt.Printf("manetsim: n=%d secure=%v credits=%v blackholes=%d(forge=%v) spammers=%d seed=%d\n\n",
-		*n, *secure, cfg.Protocol.UseCredits, *blackholes, *forging, *spammers, *seed)
-
+func printSingle(res *sbr6.Result, n int, wall time.Duration, verbose bool) {
 	summary := trace.NewTable("result", "metric", "value")
-	summary.Add("configured", fmt.Sprintf("%d/%d", res.Configured, *n))
+	summary.Add("configured", fmt.Sprintf("%d/%d", res.Configured, n))
 	summary.Add("packets offered", fmt.Sprint(res.Sent))
 	summary.Add("packets delivered", fmt.Sprint(res.Delivered))
 	summary.Add("delivery ratio", fmt.Sprintf("%.3f", res.PDR))
@@ -150,45 +203,89 @@ func main() {
 	summary.Add("data bytes", trace.FormatFloat(res.DataBytes))
 	summary.Add("signatures", trace.FormatFloat(res.CryptoSign))
 	summary.Add("verifications", trace.FormatFloat(res.CryptoVerify))
-	summary.Add("link frames tx", fmt.Sprint(res.Link.TxFrames))
-	summary.Add("link unicast fails", fmt.Sprint(res.Link.UnicastFails))
-	summary.Add("wall clock", time.Since(start).Round(time.Millisecond).String())
+	summary.Add("link frames tx", fmt.Sprint(res.TxFrames))
+	summary.Add("link unicast fails", fmt.Sprint(res.UnicastFails))
+	summary.Add("wall clock", wall.Round(time.Millisecond).String())
 	fmt.Println(summary.String())
 
-	if *verbose {
+	for _, w := range res.Windows {
+		fmt.Printf("window @%-6s %3d/%3d delivered (pdr=%.3f)\n", w.Start, w.Delivered, w.Sent, w.PDR())
+	}
+
+	if verbose {
 		t := trace.NewTable("aggregated node counters", "counter", "value")
-		for _, name := range res.Metrics.CounterNames() {
-			t.Add(name, trace.FormatFloat(res.Metrics.Get(name)))
+		for _, name := range res.MetricNames() {
+			t.Add(name, trace.FormatFloat(res.Metric(name)))
 		}
 		fmt.Println(t.String())
 	}
 }
 
+func printBatch(batch *sbr6.BatchResult, wall time.Duration) {
+	t := trace.NewTable(fmt.Sprintf("batch result — %d/%d replicates", batch.Completed(), len(batch.Seeds)),
+		"metric", "mean", "stddev", "95% CI", "min", "max")
+	row := func(name string, s sbr6.Stat) {
+		t.Add(name, fmt.Sprintf("%.3f", s.Mean), fmt.Sprintf("%.3f", s.Stddev),
+			fmt.Sprintf("±%.3f", s.CI95), fmt.Sprintf("%.3f", s.Min), fmt.Sprintf("%.3f", s.Max))
+	}
+	row("delivery ratio", batch.PDR)
+	row("latency mean (s)", batch.LatencyMean)
+	row("latency p95 (s)", batch.LatencyP95)
+	row("control bytes", batch.ControlBytes)
+	row("data bytes", batch.DataBytes)
+	row("signatures", batch.CryptoSign)
+	row("verifications", batch.CryptoVerify)
+	row("configured", batch.Configured)
+	fmt.Println(t.String())
+	printBatchWindows(batch)
+	fmt.Printf("wall clock: %s for %d replicates\n", wall.Round(time.Millisecond), len(batch.Seeds))
+}
+
+// printBatchWindows aggregates the per-window delivery counts (-windows)
+// across the completed replicates.
+func printBatchWindows(batch *sbr6.BatchResult) {
+	maxW := 0
+	for _, r := range batch.Results {
+		if r != nil && len(r.Windows) > maxW {
+			maxW = len(r.Windows)
+		}
+	}
+	if maxW == 0 {
+		return
+	}
+	wt := trace.NewTable("per-window delivery (mean over replicates)",
+		"window", "sent", "delivered", "PDR")
+	for w := 0; w < maxW; w++ {
+		var start time.Duration
+		sent, delivered, pdr, n := 0.0, 0.0, 0.0, 0
+		for _, r := range batch.Results {
+			if r == nil || w >= len(r.Windows) {
+				continue
+			}
+			win := r.Windows[w]
+			start = win.Start
+			sent += float64(win.Sent)
+			delivered += float64(win.Delivered)
+			pdr += win.PDR()
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wt.Add(start.String(), fmt.Sprintf("%.1f", sent/float64(n)),
+			fmt.Sprintf("%.1f", delivered/float64(n)), fmt.Sprintf("%.3f", pdr/float64(n)))
+	}
+	fmt.Println(wt.String())
+}
+
 // tracer collects the first N packet receptions across tapped nodes.
 type tracer struct {
 	limit int
-	rows  []traceRow
+	rows  []sbr6.TapEvent
 }
 
-type traceRow struct {
-	at   string
-	node int
-	desc string
-}
-
-// tapBehavior is a pass-through core.Behavior that records receptions.
-type tapBehavior struct {
-	tr   *tracer
-	node int
-}
-
-// Intercept implements core.Behavior.
-func (t *tapBehavior) Intercept(n *core.Node, pkt *wire.Packet, raw []byte) bool {
-	if len(t.tr.rows) < t.tr.limit {
-		t.tr.rows = append(t.tr.rows, traceRow{at: n.Sim().Now().String(), node: t.node, desc: pkt.String()})
+func (t *tracer) record(ev sbr6.TapEvent) {
+	if len(t.rows) < t.limit {
+		t.rows = append(t.rows, ev)
 	}
-	return false
 }
-
-// DropForward implements core.Behavior.
-func (t *tapBehavior) DropForward(*core.Node, *wire.Packet) bool { return false }

@@ -22,17 +22,19 @@ import (
 	"strings"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		reps  = flag.Int("reps", 3, "replicate seeds for stochastic sweeps")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		reps     = flag.Int("reps", 3, "replicate seeds for stochastic sweeps (fanned out in parallel)")
+		progress = flag.Bool("progress", false, "stream per-run progress to stderr while experiments execute")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list     = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
 
@@ -44,6 +46,9 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Replicates: *reps}
+	if *progress {
+		opts.Observer = sbr6.NewProgressObserver(os.Stderr)
+	}
 	var selected []experiments.Experiment
 	if *exp == "all" {
 		selected = experiments.All()

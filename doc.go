@@ -7,17 +7,51 @@
 // all running on a deterministic discrete-event wireless simulator with
 // programmable adversaries.
 //
+// # Declaring scenarios
+//
+// Experiments are declared with functional options and validated eagerly:
+// a bad flow endpoint or an adversary on the trust anchor fails at build
+// time with an error wrapping ErrOption, never mid-run. Node 0 is always
+// the DNS server, the network's single security anchor.
+//
+//	sc, err := sbr6.NewScenario(
+//		sbr6.WithNodes(25),
+//		sbr6.WithPlacement(sbr6.PlaceGrid),
+//		sbr6.WithFlows(sbr6.Flow{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64}),
+//		sbr6.WithAdversaries(sbr6.BlackHole(12)),
+//		sbr6.WithDuration(30*time.Second),
+//	)
+//
+// # Running
+//
+// A Runner executes scenarios. Run performs a single simulation; RunBatch
+// fans seed-replicates out across a worker pool and aggregates
+// mean/stddev/95%-CI statistics per metric. Each discrete-event simulation
+// stays single-threaded and deterministic — parallelism is across runs —
+// so a batch's per-seed Results are byte-identical to serial execution.
+// An Observer streams run starts, per-window delivery counts and final
+// results while the batch executes; both context cancellation and partial
+// aggregation are honored.
+//
+//	batch, err := (&sbr6.Runner{}).RunBatch(ctx, sc, sbr6.SeedRange(1, 16))
+//	fmt.Println(batch.PDR) // "0.912 ± 0.014"
+//
+// For experiments that drive the simulation interactively — bootstrap,
+// resolve a name, poke individual nodes, advance virtual time — Build
+// instantiates a Network with per-node handles.
+//
 // Layout:
 //
+//	.                    public facade: options, Runner, Network, Observer
 //	internal/core        the full secure node stack (the paper's contribution)
 //	internal/{sim,geom,mobility,radio}   simulation substrate
 //	internal/{ipv6,cga,identity,wire}    addressing, crypto and wire format
 //	internal/{ndp,dnssrv,dsr,credit}     protocol building blocks
 //	internal/attack      Section 4 adversaries
-//	internal/scenario    declarative experiment harness
-//	internal/experiments every table/figure/attack regenerated (T1..E4)
+//	internal/scenario    the internal experiment harness the facade compiles to
+//	internal/experiments every table/figure/attack regenerated (T1..E6)
 //	cmd/sbrbench         experiment runner
-//	cmd/manetsim         general simulator CLI
+//	cmd/manetsim         general simulator CLI (single runs and parallel batches)
 //	examples/            quickstart, rescue, battlefield, nameserver
 //
 // The benchmark file in this directory holds one testing.B benchmark per

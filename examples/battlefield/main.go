@@ -11,13 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"sbr6/internal/attack"
-	"sbr6/internal/core"
-	"sbr6/internal/scenario"
+	"sbr6"
 	"sbr6/internal/trace"
 )
 
@@ -34,44 +33,44 @@ func main() {
 		{"secure, no credits", true, false},
 		{"secure + credits", true, true},
 	} {
-		cfg := scenario.DefaultConfig()
-		cfg.Seed = 11
-		cfg.N = 25
-		cfg.Placement = scenario.PlaceGrid
-		if variant.secure {
-			cfg.Protocol = core.DefaultConfig()
-		} else {
-			cfg.Protocol = core.BaselineConfig()
+		opts := []sbr6.Option{
+			sbr6.WithSeed(11),
+			sbr6.WithNodes(25),
+			sbr6.WithPlacement(sbr6.PlaceGrid),
+			sbr6.WithDADTimeout(500 * time.Millisecond),
+			sbr6.WithDNSCommitDelay(500 * time.Millisecond),
+			sbr6.WithDuration(40 * time.Second),
+			// The middle row carries most corner-to-corner paths.
+			sbr6.WithAdversaries(
+				sbr6.BlackHole(12),   // dead centre
+				sbr6.BlackHole(11),   // centre-left
+				sbr6.RERRSpammer(13), // centre-right
+			),
+			sbr6.WithFlows(
+				sbr6.Flow{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64},
+				sbr6.Flow{From: 4, To: 20, Interval: 500 * time.Millisecond, Size: 64},
+				sbr6.Flow{From: 21, To: 3, Interval: 500 * time.Millisecond, Size: 64},
+			),
 		}
-		cfg.Protocol.UseCredits = variant.credits
-		cfg.Protocol.ProbeOnLoss = variant.credits
-		cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
-		cfg.DNS.CommitDelay = 500 * time.Millisecond
-		cfg.Duration = 40 * time.Second
+		if !variant.secure {
+			opts = append(opts, sbr6.WithBaseline())
+		}
+		opts = append(opts, sbr6.WithCredits(variant.credits))
 
-		// The middle row carries most corner-to-corner paths.
-		cfg.Behaviors = map[int]core.Behavior{
-			12: &attack.BlackHole{},   // dead centre
-			11: &attack.BlackHole{},   // centre-left
-			13: &attack.RERRSpammer{}, // centre-right
-		}
-		cfg.Flows = []scenario.Flow{
-			{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64},
-			{From: 4, To: 20, Interval: 500 * time.Millisecond, Size: 64},
-			{From: 21, To: 3, Interval: 500 * time.Millisecond, Size: 64},
-		}
-
-		sc, err := scenario.Build(cfg)
+		sc, err := sbr6.NewScenario(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := sc.Run()
+		res, err := (&sbr6.Runner{}).Run(context.Background(), sc)
+		if err != nil {
+			log.Fatal(err)
+		}
 		table.Add(variant.name,
 			fmt.Sprintf("%d/%d", res.Delivered, res.Sent),
 			fmt.Sprintf("%.3f", res.PDR),
-			trace.FormatFloat(res.Metrics.Get("probe.concluded")),
-			trace.FormatFloat(res.Metrics.Get("rerr.spammer_flagged")),
-			trace.FormatFloat(res.Metrics.Get("rerr.rejected")))
+			trace.FormatFloat(res.Metric("probe.concluded")),
+			trace.FormatFloat(res.Metric("rerr.spammer_flagged")),
+			trace.FormatFloat(res.Metric("rerr.rejected")))
 	}
 
 	fmt.Println(table.String())

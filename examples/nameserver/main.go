@@ -9,6 +9,10 @@
 // moves to a fresh CGA address and re-binds legitimately, proving it holds
 // the key behind both the old and new addresses.
 //
+// The scenario itself is declared and driven through the public facade;
+// the hand-forged protocol messages at the end reach into internal
+// packages, which only in-repo code can do.
+//
 // Run with: go run ./examples/nameserver
 package main
 
@@ -17,86 +21,86 @@ import (
 	"log"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/dnssrv"
-	"sbr6/internal/geom"
-	"sbr6/internal/ipv6"
-	"sbr6/internal/scenario"
 	"sbr6/internal/wire"
 )
 
 func main() {
-	cfg := scenario.DefaultConfig()
-	cfg.Seed = 3
-	cfg.N = 6
-	cfg.Placement = scenario.PlaceLine
-	cfg.Area = geom.Rect{W: 1200, H: 10}
-	cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
-	cfg.DNS.CommitDelay = 500 * time.Millisecond
-	cfg.Names = map[int]string{2: "shop.event"} // node 2 runs the server
-	cfg.Preload = map[string]int{"www.event": 2}
-
-	sc, err := scenario.Build(cfg)
+	sc, err := sbr6.NewScenario(
+		sbr6.WithSeed(3),
+		sbr6.WithNodes(6),
+		sbr6.WithPlacement(sbr6.PlaceLine),
+		sbr6.WithDADTimeout(500*time.Millisecond),
+		sbr6.WithDNSCommitDelay(500*time.Millisecond),
+		sbr6.WithName(2, "shop.event"), // node 2 runs the server
+		sbr6.WithPreload("www.event", 2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc.Bootstrap()
-	sc.S.RunFor(time.Second)
-	server, client, attacker := sc.Nodes[2], sc.Nodes[4], sc.Nodes[3]
+	nw, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw.Bootstrap()
+	nw.RunFor(time.Second)
+	server, client, attacker := nw.Node(2), nw.Node(4), nw.Node(3)
 
 	// 1. Secure lookup of the pre-provisioned name.
-	var serverAddr ipv6.Addr
-	client.Resolve("www.event", func(a ipv6.Addr, ok bool) {
+	var serverAddr sbr6.Addr
+	client.Resolve("www.event", func(a sbr6.Addr, ok bool) {
 		if !ok {
 			log.Fatal("resolve failed")
 		}
 		serverAddr = a
 	})
-	sc.S.RunFor(5 * time.Second)
+	nw.RunFor(5 * time.Second)
 	fmt.Printf("client resolved www.event -> %s (matches server: %v)\n",
 		serverAddr, serverAddr == server.Addr())
 
 	// 2. Client talks to the server over a verified route.
 	served := 0
-	server.OnData = func(src ipv6.Addr, d *wire.Data) { served++ }
+	server.OnData(func(src sbr6.Addr, payload []byte) { served++ })
 	for i := 0; i < 3; i++ {
-		sc.S.After(time.Duration(i)*200*time.Millisecond, func() {
-			client.SendData(serverAddr, []byte("GET /"))
-		})
+		client.SendData(serverAddr, []byte("GET /"))
+		nw.RunFor(200 * time.Millisecond)
 	}
-	sc.S.RunFor(4 * time.Second)
+	nw.RunFor(4 * time.Second)
 	fmt.Printf("server handled %d/3 requests\n", served)
 
 	// 3. Attack A: the attacker tries to hijack the binding through the
 	// challenge-based update protocol. It cannot present a key whose CGA
 	// matches the server's address, so the DNS refuses.
-	chal := sc.DNSSrv.HandleUpdateReq(&wire.UpdateReq{Name: "www.event"})
+	atkIdent := attacker.Unwrap().Identity()
+	chal := nw.DNSServer().HandleUpdateReq(&wire.UpdateReq{Name: "www.event"})
 	forged := &wire.Update{
 		Name:  "www.event",
 		OldIP: server.Addr(),
 		NewIP: attacker.Addr(),
-		Rn:    attacker.Identity().Rn,
-		NewRn: attacker.Identity().Rn,
-		PK:    attacker.Identity().Pub.Bytes(),
-		Sig:   attacker.Identity().Sign(wire.SigUpdate(server.Addr(), attacker.Addr(), chal.Ch)),
+		Rn:    atkIdent.Rn,
+		NewRn: atkIdent.Rn,
+		PK:    atkIdent.Pub.Bytes(),
+		Sig:   atkIdent.Sign(wire.SigUpdate(server.Addr(), attacker.Addr(), chal.Ch)),
 	}
-	verdict := sc.DNSSrv.HandleUpdate(forged)
+	verdict := nw.DNSServer().HandleUpdate(forged)
 	fmt.Printf("attacker re-binding attempt accepted: %v\n", verdict.OK)
 
 	// 4. Attack B is structural: a forged DNS answer cannot carry the DNS
 	// signature over the client's challenge, as the S1 experiment measures
 	// network-wide. Here we just show the local check.
 	fake := &wire.DNSAnswer{Name: "www.event", IP: attacker.Addr(), Found: true,
-		Sig: attacker.Identity().Sign(wire.SigDNSAnswer("www.event", attacker.Addr(), true, 99))}
+		Sig: atkIdent.Sign(wire.SigDNSAnswer("www.event", attacker.Addr(), true, 99))}
 	fmt.Printf("forged DNS answer validates: %v\n",
-		dnssrv.ValidateAnswer(fake, sc.DNSSrv.PublicKey(), 99))
+		dnssrv.ValidateAnswer(fake, nw.DNSServer().PublicKey(), 99))
 
 	// 5. The real server moves to a fresh address and re-binds — allowed,
 	// because it proves ownership of the key behind both addresses.
 	oldAddr := server.Addr()
 	var rebound bool
 	server.RebindAddress(func(ok bool) { rebound = ok })
-	sc.S.RunFor(8 * time.Second)
-	newAddr, _ := sc.DNSSrv.Lookup("shop.event")
+	nw.RunFor(8 * time.Second)
+	newAddr, _ := nw.DNSServer().Lookup("shop.event")
 	fmt.Printf("server re-bound %s -> %s (ok=%v, address changed=%v)\n",
 		oldAddr, server.Addr(), rebound, server.Addr() != oldAddr && newAddr == server.Addr())
 }

@@ -1,7 +1,8 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
-// It builds a five-node chain (node 0 is the DNS server), bootstraps every
-// node through secure duplicate address detection, registers a domain name,
+// It declares a five-node chain with the functional-options builder (node
+// 0 is the DNS server, the network's trust anchor), bootstraps every node
+// through secure duplicate address detection, registers a domain name,
 // resolves it through the in-MANET DNS, and delivers a few data packets
 // over a securely discovered multi-hop route.
 //
@@ -13,71 +14,61 @@ import (
 	"log"
 	"time"
 
-	"sbr6/internal/geom"
-	"sbr6/internal/ipv6"
-	"sbr6/internal/scenario"
-	"sbr6/internal/wire"
+	"sbr6"
 )
 
 func main() {
-	cfg := scenario.DefaultConfig()
-	cfg.N = 5
-	cfg.Placement = scenario.PlaceLine // dns - n1 - n2 - n3 - n4, 200 m apart
-	cfg.Area = geom.Rect{W: 1000, H: 10}
-	cfg.Protocol.DAD.Timeout = 500 * time.Millisecond
-	cfg.DNS.CommitDelay = 500 * time.Millisecond
-	cfg.Names = map[int]string{4: "sensor-hub"} // node 4 registers a name
-
-	sc, err := scenario.Build(cfg)
+	sc, err := sbr6.NewScenario(
+		sbr6.WithNodes(5),
+		sbr6.WithPlacement(sbr6.PlaceLine), // dns - n1 - n2 - n3 - n4, 200 m apart
+		sbr6.WithDADTimeout(500*time.Millisecond),
+		sbr6.WithDNSCommitDelay(500*time.Millisecond),
+		sbr6.WithName(4, "sensor-hub"), // node 4 registers a name
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := sc.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Phase 1: secure bootstrap. Every node floods an AREQ, waits for
 	// objections, and ends up with a unique CGA-bound site-local address.
-	configured := sc.Bootstrap()
-	fmt.Printf("bootstrap: %d/%d nodes configured\n", configured, cfg.N)
-	for i, n := range sc.Nodes {
+	configured := nw.Bootstrap()
+	fmt.Printf("bootstrap: %d/%d nodes configured\n", configured, nw.Size())
+	for i := 0; i < nw.Size(); i++ {
+		n := nw.Node(i)
 		fmt.Printf("  node %d: %-28s name=%q\n", i, n.Addr(), n.Name())
 	}
 
 	// Phase 2: resolve the hub's name with a challenge-bound signed lookup.
-	sc.S.RunFor(time.Second) // let the registration commit
-	var hub ipv6.Addr
-	sc.Nodes[1].Resolve("sensor-hub", func(a ipv6.Addr, ok bool) {
+	nw.RunFor(time.Second) // let the registration commit
+	var hub sbr6.Addr
+	nw.Node(1).Resolve("sensor-hub", func(a sbr6.Addr, ok bool) {
 		if !ok {
 			log.Fatal("resolve failed")
 		}
 		hub = a
 	})
-	sc.S.RunFor(5 * time.Second)
+	nw.RunFor(5 * time.Second)
 	fmt.Printf("resolved sensor-hub -> %s (signed by the DNS, bound to our challenge)\n", hub)
 
 	// Phase 3: send data. Route discovery carries per-hop signed identity
 	// attestations; the destination verifies every hop before answering.
 	received := 0
-	sc.Nodes[4].OnData = func(src ipv6.Addr, d *wire.Data) {
+	nw.Node(4).OnData(func(src sbr6.Addr, payload []byte) {
 		received++
-		fmt.Printf("  hub got %q from %s\n", d.Payload, src)
-	}
+		fmt.Printf("  hub got %q from %s\n", payload, src)
+	})
 	for i := 0; i < 3; i++ {
-		msg := fmt.Sprintf("reading-%d", i)
-		sc.S.After(time.Duration(i)*300*time.Millisecond, func() {
-			sc.Nodes[1].SendData(hub, []byte(msg))
-		})
+		nw.Node(1).SendData(hub, []byte(fmt.Sprintf("reading-%d", i)))
+		nw.RunFor(300 * time.Millisecond)
 	}
-	sc.S.RunFor(5 * time.Second)
+	nw.RunFor(5 * time.Second)
 
-	relays, _ := sc.Nodes[1].RouteTo(hub)
-	fmt.Printf("delivered %d/3 over a %d-hop verified route\n", received, len(relays)+1)
-	fmt.Printf("crypto: %0.f signatures, %0.f verifications across the network\n",
-		total(sc, "crypto.sign"), total(sc, "crypto.verify"))
-}
-
-func total(sc *scenario.Scenario, counter string) float64 {
-	sum := 0.0
-	for _, n := range sc.Nodes {
-		sum += n.Metrics().Get(counter)
-	}
-	return sum
+	relays, _ := nw.Node(1).Route(hub)
+	fmt.Printf("delivered %d/3 over a %d-hop verified route\n", received, relays+1)
+	fmt.Printf("crypto: %.0f signatures, %.0f verifications across the network\n",
+		nw.Metric("crypto.sign"), nw.Metric("crypto.verify"))
 }

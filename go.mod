@@ -1,0 +1,3 @@
+module sbr6
+
+go 1.24

@@ -1,18 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/attack"
 	"sbr6/internal/cga"
-	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
 	"sbr6/internal/ndp"
-	"sbr6/internal/scenario"
 	"sbr6/internal/sim"
 	"sbr6/internal/trace"
 	"sbr6/internal/wire"
@@ -20,7 +20,9 @@ import (
 
 // This file regenerates the Section 4 security analysis as measured
 // experiments: DNS impersonation (S1), black holes (S2), replayed/forged
-// control messages (S3) and replayed/forged route errors (S4).
+// control messages (S3) and replayed/forged route errors (S4). Scenario
+// runs go through the public facade; the stochastic S2 sweep fans its
+// seed replicates out through the parallel batch Runner.
 
 func init() {
 	register("S1", "Section 4: impersonation of DNS", runS1)
@@ -34,30 +36,26 @@ func runS1(opt Options) []*trace.Table {
 		"protocol", "forged answers sent", "client poisoned", "forged rejected", "answers accepted")
 
 	for _, secure := range []bool{false, true} {
-		cfg := lineConfig(opt.Seed, 5, secure)
-		cfg.Names = map[int]string{3: "server"}
-		fake := &attack.FakeDNS{}
-		cfg.Behaviors = map[int]core.Behavior{1: fake} // relay between client and DNS
-		sc, err := scenario.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		sc.Bootstrap()
-		sc.S.RunFor(time.Second)
-		var got ipv6.Addr
+		nw := buildNet(lineSpec(opt.Seed, 5, secure,
+			sbr6.WithName(3, "server"),
+			sbr6.WithAdversaries(sbr6.FakeDNS(1)), // relay between client and DNS
+		))
+		nw.Bootstrap()
+		nw.RunFor(time.Second)
+		var got sbr6.Addr
 		var found bool
-		sc.Nodes[2].Resolve("server", func(a ipv6.Addr, ok bool) { got, found = a, ok })
-		sc.S.RunFor(8 * time.Second)
+		nw.Node(2).Resolve("server", func(a sbr6.Addr, ok bool) { got, found = a, ok })
+		nw.RunFor(8 * time.Second)
 
-		poisoned := found && got == sc.Nodes[1].Addr()
+		fake := nw.AdversaryState(1).(*attack.FakeDNS)
+		poisoned := found && got == nw.Node(1).Addr()
 		name := "baseline"
 		if secure {
 			name = "secure"
 		}
-		m := sc.Nodes[2].Metrics()
 		t.Add(name, fmt.Sprint(fake.Answers), fmt.Sprint(poisoned),
-			trace.FormatFloat(m.Get("dns.answer_rejected")),
-			trace.FormatFloat(m.Get("dns.answer_accepted")))
+			trace.FormatFloat(nw.Node(2).Metric("dns.answer_rejected")),
+			trace.FormatFloat(nw.Node(2).Metric("dns.answer_accepted")))
 	}
 
 	// Replayed DNS answer: a past signed answer cannot satisfy a new query
@@ -96,32 +94,38 @@ func runS2(opt Options) []*trace.Table {
 	// signature verification alone defeats; the INSIDER holds a valid
 	// identity, relays discovery honestly and drops only data, which takes
 	// the credit mechanism (Section 3.4) to survive.
-	reps := opt.replicates()
+	seeds := opt.replicateSeeds()
+	runner := &sbr6.Runner{Observer: opt.Observer}
 	mk := func(title string, insider bool) *trace.Table {
-		if reps > 1 {
-			title += fmt.Sprintf(" — mean of %d seeds", reps)
+		if len(seeds) > 1 {
+			title += fmt.Sprintf(" — mean of %d seeds", len(seeds))
 		}
 		t := trace.NewTable(title,
 			"black holes", "baseline PDR", "secure w/o credits PDR", "secure+credits PDR")
 		for _, k := range attackers {
 			row := []string{fmt.Sprint(k)}
 			for _, v := range variants {
-				sum := 0.0
-				for rep := 0; rep < reps; rep++ {
-					cfg := gridConfig(opt.Seed+int64(rep)*101, n, v.secure)
-					cfg.Protocol.UseCredits = v.credits
-					cfg.Protocol.ProbeOnLoss = v.credits
-					cfg.Flows = cornerFlows(n, 500*time.Millisecond)
-					cfg.Duration = 20 * time.Second
-					cfg.Behaviors = map[int]core.Behavior{}
-					// Attackers occupy central positions (highest betweenness).
-					centers := centralIndices(n)
-					for i := 0; i < k && i < len(centers); i++ {
-						cfg.Behaviors[centers[i]] = &attack.BlackHole{ForgeCacheReplies: !insider}
+				// Attackers occupy central positions (highest betweenness).
+				var advs []sbr6.Adversary
+				centers := centralIndices(n)
+				for i := 0; i < k && i < len(centers); i++ {
+					if insider {
+						advs = append(advs, sbr6.BlackHole(centers[i]))
+					} else {
+						advs = append(advs, sbr6.ForgingBlackHole(centers[i]))
 					}
-					sum += scenarioRun(cfg).PDR
 				}
-				row = append(row, fmt.Sprintf("%.3f", sum/float64(reps)))
+				sc := gridSpec(opt.Seed, n, v.secure,
+					sbr6.WithCredits(v.credits),
+					sbr6.WithFlows(cornerFlows(n, 500*time.Millisecond)...),
+					sbr6.WithDuration(20*time.Second),
+					sbr6.WithAdversaries(advs...),
+				)
+				batch, err := runner.RunBatch(context.Background(), sc, seeds)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, fmt.Sprintf("%.3f", batch.PDR.Mean))
 			}
 			t.Add(row...)
 		}
@@ -151,14 +155,6 @@ func centralIndices(n int) []int {
 		}
 	}
 	return filtered
-}
-
-func scenarioRun(cfg scenario.Config) *scenario.Result {
-	sc, err := scenario.Build(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return sc.Run()
 }
 
 func runS3(opt Options) []*trace.Table {
@@ -194,26 +190,21 @@ func runS3(opt Options) []*trace.Table {
 	// RREP forged end to end: an impersonator answers discoveries for the
 	// victim. Baseline believes it (data stolen); the CGA check stops it.
 	for _, secure := range []bool{false, true} {
-		cfg := lineConfig(opt.Seed, 5, secure)
-		im := &attack.Impersonator{}
-		cfg.Behaviors = map[int]core.Behavior{2: im}
-		sc, err := scenario.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		im.Victim = sc.Nodes[4].Addr() // beyond the attacker
-		sc.Bootstrap()
+		nw := buildNet(lineSpec(opt.Seed, 5, secure,
+			sbr6.WithAdversaries(sbr6.Impersonate(2, 4)),
+		))
+		nw.Bootstrap()
 		deliveredToVictim := 0
-		sc.Nodes[4].OnData = func(ipv6.Addr, *wire.Data) { deliveredToVictim++ }
+		nw.Node(4).OnData(func(sbr6.Addr, []byte) { deliveredToVictim++ })
+		victimAddr := nw.Node(4).Addr()
 		for i := 0; i < 5; i++ {
-			i := i
-			sc.S.After(time.Duration(i)*500*time.Millisecond, func() {
-				sc.Nodes[1].SendData(im.Victim, []byte("secret"))
-			})
+			nw.Node(1).SendData(victimAddr, []byte("secret"))
+			nw.RunFor(500 * time.Millisecond)
 		}
-		sc.S.RunFor(12 * time.Second)
+		nw.RunFor(12*time.Second - 5*500*time.Millisecond)
+		im := nw.AdversaryState(2).(*attack.Impersonator)
 		outcome := fmt.Sprintf("stolen=%d delivered=%d rejected=%.0f",
-			im.StolenData, deliveredToVictim, sc.Nodes[1].Metrics().Get("rrep.rejected"))
+			im.StolenData, deliveredToVictim, nw.Node(1).Metric("rrep.rejected"))
 		if secure {
 			t.Add("RREP", "forged (impersonation)", "", outcome)
 		} else {
@@ -223,13 +214,14 @@ func runS3(opt Options) []*trace.Table {
 
 	// CREP forged: measured by the S2 machinery with a single black hole.
 	for _, secure := range []bool{false, true} {
-		cfg := gridConfig(opt.Seed, 9, secure)
-		bh := &attack.BlackHole{ForgeCacheReplies: true}
-		cfg.Behaviors = map[int]core.Behavior{4: bh}
-		cfg.Flows = cornerFlows(9, 500*time.Millisecond)
-		res := scenarioRun(cfg)
+		nw := buildNet(gridSpec(opt.Seed, 9, secure,
+			sbr6.WithAdversaries(sbr6.ForgingBlackHole(4)),
+			sbr6.WithFlows(cornerFlows(9, 500*time.Millisecond)...),
+		))
+		res := nw.Run()
+		bh := nw.AdversaryState(4).(*attack.BlackHole)
 		outcome := fmt.Sprintf("forged=%d rejected=%.0f pdr=%.2f",
-			bh.ForgedReplies, res.Metrics.Get("crep.rejected"), res.PDR)
+			bh.ForgedReplies, res.Metric("crep.rejected"), res.PDR)
 		if secure {
 			t.Add("CREP", "forged cached route", "", outcome)
 		} else {
@@ -239,16 +231,17 @@ func runS3(opt Options) []*trace.Table {
 
 	// RREP replay end to end: a hostile relay re-broadcasts captured
 	// control frames; stale sequence numbers make them unsolicited.
-	cfg := lineConfig(opt.Seed, 5, true)
-	rp := &attack.Replayer{Delay: 2 * time.Second}
-	cfg.Behaviors = map[int]core.Behavior{2: rp}
-	cfg.Flows = []scenario.Flow{{From: 1, To: 4, Interval: 500 * time.Millisecond, Size: 32}}
-	res := scenarioRun(cfg)
+	nw := buildNet(lineSpec(opt.Seed, 5, true,
+		sbr6.WithAdversaries(sbr6.Replay(2, 2*time.Second)),
+		sbr6.WithFlows(sbr6.Flow{From: 1, To: 4, Interval: 500 * time.Millisecond, Size: 32}),
+	))
+	res := nw.Run()
+	rp := nw.AdversaryState(2).(*attack.Replayer)
 	t.Add("RREP/CREP/AREP", "replayed frames", "routes churned",
 		fmt.Sprintf("replayed=%d unsolicited=%.0f rejected=%.0f pdr=%.2f",
 			rp.Replayed,
-			res.Metrics.Get("rrep.unsolicited")+res.Metrics.Get("crep.unsolicited")+res.Metrics.Get("dns.answer_unsolicited"),
-			res.Metrics.Get("rrep.rejected")+res.Metrics.Get("crep.rejected"), res.PDR))
+			res.Metric("rrep.unsolicited")+res.Metric("crep.unsolicited")+res.Metric("dns.answer_unsolicited"),
+			res.Metric("rrep.rejected")+res.Metric("crep.rejected"), res.PDR))
 	return []*trace.Table{t}
 }
 
@@ -266,21 +259,22 @@ func runS4(opt Options) []*trace.Table {
 	for _, secure := range []bool{false, true} {
 		// Grid topology: alternate paths exist, so once the spammer is
 		// identified the secure protocol can actually route around it.
-		cfg := gridConfig(opt.Seed, 9, secure)
-		sp := &attack.RERRSpammer{}
-		cfg.Behaviors = map[int]core.Behavior{4: sp} // centre
-		cfg.Protocol.RERRThreshold = 3
-		cfg.Flows = cornerFlows(9, 400*time.Millisecond)
-		cfg.Duration = 20 * time.Second
-		res := scenarioRun(cfg)
+		nw := buildNet(gridSpec(opt.Seed, 9, secure,
+			sbr6.WithAdversaries(sbr6.RERRSpammer(4)), // centre
+			sbr6.WithRERRThreshold(3),
+			sbr6.WithFlows(cornerFlows(9, 400*time.Millisecond)...),
+			sbr6.WithDuration(20*time.Second),
+		))
+		res := nw.Run()
+		sp := nw.AdversaryState(4).(*attack.RERRSpammer)
 		name := "baseline"
 		if secure {
 			name = "secure+credits"
 		}
 		t.Add(name, fmt.Sprint(sp.Sent),
-			trace.FormatFloat(res.Metrics.Get("rerr.accepted")),
-			trace.FormatFloat(res.Metrics.Get("rerr.rejected")),
-			trace.FormatFloat(res.Metrics.Get("rerr.spammer_flagged")),
+			trace.FormatFloat(res.Metric("rerr.accepted")),
+			trace.FormatFloat(res.Metric("rerr.rejected")),
+			trace.FormatFloat(res.Metric("rerr.spammer_flagged")),
 			fmt.Sprintf("%.3f", res.PDR))
 	}
 

@@ -6,18 +6,18 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/attack"
 	"sbr6/internal/cga"
-	"sbr6/internal/core"
 	"sbr6/internal/identity"
-	"sbr6/internal/scenario"
 	"sbr6/internal/trace"
 )
 
 // This file implements the derived experiments of DESIGN.md: the cost of
 // security vs network size (E1), the signature-suite ablation (E2), credit
 // convergence around black holes and identity churn (E3), and the DAD
-// collision probability vs hash width (E4).
+// collision probability vs hash width (E4). Simulation sweeps run through
+// the public facade.
 
 func init() {
 	register("E1", "Derived: security overhead vs network size", runE1)
@@ -35,9 +35,9 @@ func runE1(opt Options) []*trace.Table {
 		"nodes", "protocol", "PDR", "latency (s)", "ctrl bytes", "ctrl bytes/delivered", "sign", "verify")
 	for _, n := range sizes {
 		for _, secure := range []bool{false, true} {
-			cfg := gridConfig(opt.Seed, n, secure)
-			cfg.Flows = cornerFlows(n, 500*time.Millisecond)
-			res := scenarioRun(cfg)
+			res := runSpec(opt, gridSpec(opt.Seed, n, secure,
+				sbr6.WithFlows(cornerFlows(n, 500*time.Millisecond)...),
+			))
 			name := "baseline"
 			if secure {
 				name = "secure"
@@ -57,17 +57,20 @@ func runE2(opt Options) []*trace.Table {
 	t := trace.NewTable("E2: signature suite ablation (5-node chain, 1 flow)",
 		"suite", "PDR", "ctrl bytes", "RREQ bytes @3 hops", "verify ops", "wall-clock verify us/route")
 
-	suites := []identity.Suite{identity.SuiteEd25519, identity.SuiteRSA1024}
+	suites := []struct {
+		pub sbr6.Suite
+		in  identity.Suite
+	}{{sbr6.Ed25519, identity.SuiteEd25519}, {sbr6.RSA1024, identity.SuiteRSA1024}}
 	for _, suite := range suites {
-		cfg := lineConfig(opt.Seed, 5, true)
-		cfg.Protocol.Suite = suite
-		cfg.Flows = []scenario.Flow{{From: 1, To: 4, Interval: 500 * time.Millisecond, Size: 64}}
-		cfg.Duration = 10 * time.Second
-		res := scenarioRun(cfg)
+		res := runSpec(opt, lineSpec(opt.Seed, 5, true,
+			sbr6.WithSuite(suite.pub),
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 4, Interval: 500 * time.Millisecond, Size: 64}),
+			sbr6.WithDuration(10*time.Second),
+		))
 
 		// Wall-clock verification cost of a 3-hop route record (4 sigs).
 		rng := rand.New(rand.NewSource(opt.Seed))
-		id, err := identity.New(suite, rng, "")
+		id, err := identity.New(suite.in, rng, "")
 		if err != nil {
 			panic(err)
 		}
@@ -86,10 +89,10 @@ func runE2(opt Options) []*trace.Table {
 		usPerRoute := float64(time.Since(start).Microseconds()) / float64(reps)
 
 		// RREQ size with 3 hop attestations under this suite.
-		sigN, pkN := sigSizes(opt.Seed, suite)
+		sigN, pkN := sigSizes(opt.Seed, suite.in)
 		rreqBytes := rreqSizeAtHops(3, sigN, pkN)
 
-		t.Add(suite.String(), fmt.Sprintf("%.3f", res.PDR),
+		t.Add(suite.in.String(), fmt.Sprintf("%.3f", res.PDR),
 			trace.FormatFloat(res.ControlBytes), fmt.Sprint(rreqBytes),
 			trace.FormatFloat(res.CryptoVerify), fmt.Sprintf("%.1f", usPerRoute))
 	}
@@ -114,16 +117,15 @@ func runE3(opt Options) []*trace.Table {
 
 	t := trace.NewTable("E3a: PDR per 5s window with one central insider black hole (grid 9)",
 		"window", "secure w/o credits", "secure+credits")
-	results := map[bool]*scenario.Result{}
+	results := map[bool]*sbr6.Result{}
 	for _, credits := range []bool{false, true} {
-		cfg := gridConfig(opt.Seed, 9, true)
-		cfg.Protocol.UseCredits = credits
-		cfg.Protocol.ProbeOnLoss = credits
-		cfg.Behaviors = map[int]core.Behavior{4: &attack.BlackHole{}}
-		cfg.Flows = cornerFlows(9, 400*time.Millisecond)
-		cfg.Duration = time.Duration(windows) * winSize
-		cfg.WindowSize = winSize
-		results[credits] = scenarioRun(cfg)
+		results[credits] = runSpec(opt, gridSpec(opt.Seed, 9, true,
+			sbr6.WithCredits(credits),
+			sbr6.WithAdversaries(sbr6.BlackHole(4)),
+			sbr6.WithFlows(cornerFlows(9, 400*time.Millisecond)...),
+			sbr6.WithDuration(time.Duration(windows)*winSize),
+			sbr6.WithWindows(winSize),
+		))
 	}
 	for w := 0; w < windows; w++ {
 		cells := []string{fmt.Sprintf("%d-%ds", w*5, (w+1)*5)}
@@ -143,17 +145,17 @@ func runE3(opt Options) []*trace.Table {
 	// at the low initial credit.
 	churn := trace.NewTable("E3b: identity churn vs low initial credit",
 		"metric", "value")
-	cfg := gridConfig(opt.Seed, 9, true)
-	churner := &attack.IdentityChurner{Every: 8 * time.Second}
-	churner.ForgeCacheReplies = true
-	cfg.Behaviors = map[int]core.Behavior{4: churner}
-	cfg.Flows = cornerFlows(9, 400*time.Millisecond)
-	cfg.Duration = 30 * time.Second
-	res := scenarioRun(cfg)
+	nw := buildNet(gridSpec(opt.Seed, 9, true,
+		sbr6.WithAdversaries(sbr6.IdentityChurner(4, 8*time.Second)),
+		sbr6.WithFlows(cornerFlows(9, 400*time.Millisecond)...),
+		sbr6.WithDuration(30*time.Second),
+	))
+	res := nw.Run()
+	churner := nw.AdversaryState(4).(*attack.IdentityChurner)
 	churn.Add("identity churns", fmt.Sprint(churner.Churns))
 	churn.Add("PDR despite churn", fmt.Sprintf("%.3f", res.PDR))
-	churn.Add("punishments applied", trace.FormatFloat(res.Metrics.Get("credit.punished")))
-	churn.Add("probes concluded", trace.FormatFloat(res.Metrics.Get("probe.concluded")))
+	churn.Add("punishments applied", trace.FormatFloat(res.Metric("credit.punished")))
+	churn.Add("probes concluded", trace.FormatFloat(res.Metric("probe.concluded")))
 	return []*trace.Table{t, churn}
 }
 

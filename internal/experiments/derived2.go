@@ -5,13 +5,13 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
 	"sbr6/internal/geom"
 	"sbr6/internal/identity"
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
-	"sbr6/internal/scenario"
 	"sbr6/internal/sim"
 	"sbr6/internal/trace"
 )
@@ -30,19 +30,19 @@ func runE5(opt Options) []*trace.Table {
 		"cache", "PDR", "discovery attempts", "CREPs served", "ctrl bytes", "latency (s)")
 
 	for _, useCache := range []bool{true, false} {
-		cfg := gridConfig(opt.Seed, 16, true)
-		cfg.Protocol.UseCache = useCache
 		// Three sources discover the same destination in sequence, so the
 		// later discoveries can be answered from intermediate caches (CREP).
-		cfg.Flows = []scenario.Flow{
-			{From: 1, To: 15, Interval: 500 * time.Millisecond, Size: 64},
-			{From: 2, To: 15, Interval: 500 * time.Millisecond, Size: 64, Start: 2 * time.Second},
-			{From: 4, To: 15, Interval: 500 * time.Millisecond, Size: 64, Start: 4 * time.Second},
-		}
-		cfg.Duration = 15 * time.Second
-		res := scenarioRun(cfg)
-		t.Addf(fmt.Sprint(useCache), res.PDR, res.Metrics.Get("discovery.attempts"),
-			res.Metrics.Get("crep.sent"), res.ControlBytes, res.LatencyMean)
+		res := runSpec(opt, gridSpec(opt.Seed, 16, true,
+			sbr6.WithRouteCache(useCache),
+			sbr6.WithFlows(
+				sbr6.Flow{From: 1, To: 15, Interval: 500 * time.Millisecond, Size: 64},
+				sbr6.Flow{From: 2, To: 15, Interval: 500 * time.Millisecond, Size: 64, Start: 2 * time.Second},
+				sbr6.Flow{From: 4, To: 15, Interval: 500 * time.Millisecond, Size: 64, Start: 4 * time.Second},
+			),
+			sbr6.WithDuration(15*time.Second),
+		))
+		t.Addf(fmt.Sprint(useCache), res.PDR, res.Metric("discovery.attempts"),
+			res.Metric("crep.sent"), res.ControlBytes, res.LatencyMean)
 	}
 	return []*trace.Table{t}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sbr6"
 	"sbr6/internal/trace"
 )
 
@@ -23,8 +24,23 @@ type Options struct {
 	// ranges EXPERIMENTS.md records.
 	Quick bool
 	// Replicates averages stochastic sweeps (currently S2) over this many
-	// seeds; 0 or 1 means a single run.
+	// seeds; 0 or 1 means a single run. Replicates fan out across the
+	// facade Runner's worker pool.
 	Replicates int
+	// Observer optionally streams per-run progress while experiments
+	// execute (cmd/sbrbench wires its -progress flag here).
+	Observer sbr6.Observer
+}
+
+// replicateSeeds returns the seed list a stochastic sweep averages over,
+// spaced the way EXPERIMENTS.md records.
+func (o Options) replicateSeeds() []int64 {
+	reps := o.replicates()
+	seeds := make([]int64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		seeds = append(seeds, o.Seed+int64(rep)*101)
+	}
+	return seeds
 }
 
 // DefaultOptions is the configuration EXPERIMENTS.md was produced with.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/cga"
 	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
@@ -140,17 +141,9 @@ func runF2(opt Options) []*trace.Table {
 	sweep := trace.NewTable("F2c: DAD cost vs network size (grid, no conflicts)",
 		"nodes", "mean DAD latency (s)", "AREQ floods", "control bytes", "configured")
 	for _, n := range sizes {
-		cfg := gridConfig(opt.Seed, n, true)
-		sc, err := scenario.Build(cfg)
-		if err != nil {
-			panic(err)
-		}
-		configured := sc.Bootstrap()
-		met := trace.NewMetrics()
-		for _, nd := range sc.Nodes {
-			met.Merge(nd.Metrics())
-		}
-		sweep.Addf(n, met.Mean("dad.latency_s"), met.Get("tx.AREQ"), met.Get("tx.bytes.control"),
+		nw := buildNet(gridSpec(opt.Seed, n, true))
+		configured := nw.Bootstrap()
+		sweep.Addf(n, nw.MetricMean("dad.latency_s"), nw.Metric("tx.AREQ"), nw.Metric("tx.bytes.control"),
 			fmt.Sprintf("%d/%d", configured, n))
 	}
 	return []*trace.Table{walk, outcome, sweep}
@@ -208,19 +201,15 @@ func runF3(opt Options) []*trace.Table {
 		"hops", "protocol", "discovery attempts", "verify ops", "ctrl bytes", "delivered")
 	for _, hops := range lens {
 		for _, secure := range []bool{true, false} {
-			c := lineConfig(opt.Seed, hops+2, secure) // dns + chain of hops+1
-			c.Flows = []scenario.Flow{{From: 1, To: hops + 1, Interval: time.Second, Size: 64}}
-			c.Duration = 8 * time.Second
-			sc2, err := scenario.Build(c)
-			if err != nil {
-				panic(err)
-			}
-			res := sc2.Run()
+			res := runSpec(opt, lineSpec(opt.Seed, hops+2, secure, // dns + chain of hops+1
+				sbr6.WithFlows(sbr6.Flow{From: 1, To: hops + 1, Interval: time.Second, Size: 64}),
+				sbr6.WithDuration(8*time.Second),
+			))
 			name := "baseline"
 			if secure {
 				name = "secure"
 			}
-			sweep.Addf(hops, name, res.Metrics.Get("discovery.attempts"), res.CryptoVerify,
+			sweep.Addf(hops, name, res.Metric("discovery.attempts"), res.CryptoVerify,
 				res.ControlBytes, fmt.Sprintf("%d/%d", res.Delivered, res.Sent))
 		}
 	}

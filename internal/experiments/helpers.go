@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"sbr6"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/ipv6"
@@ -12,6 +14,54 @@ import (
 	"sbr6/internal/trace"
 	"sbr6/internal/wire"
 )
+
+// gridSpec declares an n-node grid scenario with tight timers through the
+// public facade — the standard substrate of the sweep experiments. The
+// walkthrough experiments that need packet transcripts or hand-built
+// topologies (F2, F3a-c, E6) stay on the internal harness below.
+func gridSpec(seed int64, n int, secure bool, extra ...sbr6.Option) *sbr6.Scenario {
+	opts := []sbr6.Option{
+		sbr6.WithSeed(seed),
+		sbr6.WithNodes(n),
+		sbr6.WithPlacement(sbr6.PlaceGrid),
+		sbr6.WithFastTimers(),
+		sbr6.WithWarmup(time.Second),
+		sbr6.WithDuration(15 * time.Second),
+		sbr6.WithCooldown(3 * time.Second),
+	}
+	if !secure {
+		opts = append(opts, sbr6.WithBaseline())
+	}
+	sc, err := sbr6.NewScenario(append(opts, extra...)...)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// lineSpec declares an n-node chain scenario (node 0 is the DNS end).
+func lineSpec(seed int64, n int, secure bool, extra ...sbr6.Option) *sbr6.Scenario {
+	return gridSpec(seed, n, secure, append([]sbr6.Option{sbr6.WithPlacement(sbr6.PlaceLine)}, extra...)...)
+}
+
+// runSpec executes one replicate through the facade Runner, streaming to
+// the Options observer when one is set.
+func runSpec(o Options, sc *sbr6.Scenario) *sbr6.Result {
+	res, err := (&sbr6.Runner{Observer: o.Observer}).Run(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// buildNet instantiates a spec for interactive driving.
+func buildNet(sc *sbr6.Scenario) *sbr6.Network {
+	nw, err := sc.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
 
 // fastProtocol returns protocol timers sized for simulation sweeps.
 func fastProtocol(secure bool) core.Config {
@@ -58,14 +108,14 @@ func lineConfig(seed int64, n int, secure bool) scenario.Config {
 
 // cornerFlows returns CBR flows between opposite grid corners (and the two
 // anti-diagonal corners for >=9 nodes), skipping the DNS node.
-func cornerFlows(n int, interval time.Duration) []scenario.Flow {
+func cornerFlows(n int, interval time.Duration) []sbr6.Flow {
 	side := 1
 	for side*side < n {
 		side++
 	}
-	flows := []scenario.Flow{{From: 1, To: n - 1, Interval: interval, Size: 64}}
+	flows := []sbr6.Flow{{From: 1, To: n - 1, Interval: interval, Size: 64}}
 	if n >= 9 {
-		flows = append(flows, scenario.Flow{From: side - 1, To: n - side, Interval: interval, Size: 64})
+		flows = append(flows, sbr6.Flow{From: side - 1, To: n - side, Interval: interval, Size: 64})
 	}
 	return flows
 }

@@ -8,6 +8,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -109,6 +110,51 @@ func DefaultConfig() Config {
 	}
 }
 
+// ErrConfig is wrapped by every configuration validation error Build
+// returns, so callers can distinguish bad input from build failures.
+var ErrConfig = errors.New("invalid configuration")
+
+// Validate checks the parts of a Config that would otherwise surface as
+// runtime panics or silent misbehavior. Build calls it; the public facade
+// calls it eagerly at option-application time.
+func Validate(cfg Config) error {
+	if cfg.N < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, got %d: %w", cfg.N, ErrConfig)
+	}
+	for i, f := range cfg.Flows {
+		switch {
+		case f.From < 0 || f.From >= cfg.N:
+			return fmt.Errorf("scenario: flow %d: From=%d out of range [0,%d): %w", i, f.From, cfg.N, ErrConfig)
+		case f.To < 0 || f.To >= cfg.N:
+			return fmt.Errorf("scenario: flow %d: To=%d out of range [0,%d): %w", i, f.To, cfg.N, ErrConfig)
+		case f.From == f.To:
+			return fmt.Errorf("scenario: flow %d: From and To are both %d: %w", i, f.From, ErrConfig)
+		case f.Interval <= 0:
+			return fmt.Errorf("scenario: flow %d: non-positive interval %v: %w", i, f.Interval, ErrConfig)
+		case f.Size < 0:
+			return fmt.Errorf("scenario: flow %d: negative payload size %d: %w", i, f.Size, ErrConfig)
+		case f.Start < 0:
+			return fmt.Errorf("scenario: flow %d: negative start offset %v: %w", i, f.Start, ErrConfig)
+		}
+	}
+	for name, idx := range cfg.Preload {
+		if idx < 0 || idx >= cfg.N {
+			return fmt.Errorf("scenario: preload %q references node %d: %w", name, idx, ErrConfig)
+		}
+	}
+	for idx := range cfg.Names {
+		if idx < 0 || idx >= cfg.N {
+			return fmt.Errorf("scenario: name registration references node %d: %w", idx, ErrConfig)
+		}
+	}
+	for idx := range cfg.Behaviors {
+		if idx < 0 || idx >= cfg.N {
+			return fmt.Errorf("scenario: behavior references node %d: %w", idx, ErrConfig)
+		}
+	}
+	return nil
+}
+
 // Scenario is a built simulation ready to run.
 type Scenario struct {
 	Cfg    Config
@@ -116,6 +162,12 @@ type Scenario struct {
 	Medium *radio.Medium
 	Nodes  []*core.Node
 	DNSSrv *dnssrv.Server
+
+	// OnWindow, when set before Run on a windowed scenario, streams each
+	// measurement window's counts as the run passes it: window k is
+	// emitted one cooldown after its send-span closes, so the in-flight
+	// packets it is owed have landed. The idx is the window index.
+	OnWindow func(idx int, w WindowStat)
 
 	sent         map[flowPacket]sim.Time
 	result       *Result
@@ -205,8 +257,8 @@ func (w WindowStat) PDR() float64 {
 // Build constructs the network (deterministically from Cfg.Seed) without
 // running it.
 func Build(cfg Config) (*Scenario, error) {
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("scenario: need at least 2 nodes, got %d", cfg.N)
+	if err := Validate(cfg); err != nil {
+		return nil, err
 	}
 	if cfg.BootStagger <= 0 {
 		cfg.BootStagger = cfg.Protocol.DAD.Timeout + 200*time.Millisecond
@@ -282,9 +334,6 @@ func Build(cfg Config) (*Scenario, error) {
 
 	// Permanent DNS bindings exist before the network forms.
 	for name, idx := range cfg.Preload {
-		if idx < 0 || idx >= cfg.N {
-			return nil, fmt.Errorf("scenario: preload %q references node %d", name, idx)
-		}
 		sc.DNSSrv.Preload(name, sc.Nodes[idx].Addr())
 	}
 	return sc, nil
@@ -320,6 +369,7 @@ func (sc *Scenario) Run() *Result {
 	sc.S.RunFor(sc.Cfg.Warmup)
 	sc.measureStart = sc.S.Now()
 	sc.startFlows()
+	sc.scheduleWindowEmissions()
 	sc.S.RunFor(sc.Cfg.Duration + sc.Cfg.Cooldown)
 
 	// Aggregate.
@@ -347,14 +397,38 @@ func (sc *Scenario) Run() *Result {
 	return res
 }
 
+// scheduleWindowEmissions arranges the OnWindow stream: window k fires one
+// cooldown after its send-span ends (clamped to the run's end), by which
+// point every packet sent inside it has had a full cooldown to land. The
+// emission events read state without touching the model or its RNGs, so a
+// streamed run stays byte-identical to an unobserved one.
+func (sc *Scenario) scheduleWindowEmissions() {
+	if sc.Cfg.WindowSize <= 0 || sc.OnWindow == nil {
+		return
+	}
+	numW := int((sc.Cfg.Duration + sc.Cfg.WindowSize - 1) / sc.Cfg.WindowSize)
+	for k := 0; k < numW; k++ {
+		k := k
+		at := time.Duration(k+1) * sc.Cfg.WindowSize
+		if at > sc.Cfg.Duration {
+			at = sc.Cfg.Duration
+		}
+		sc.S.After(at+sc.Cfg.Cooldown, func() {
+			w := WindowStat{Start: time.Duration(k) * sc.Cfg.WindowSize}
+			if k < len(sc.windows) {
+				w = sc.windows[k]
+			}
+			sc.OnWindow(k, w)
+		})
+	}
+}
+
 // startFlows schedules the CBR sources across the measurement window and
-// hooks delivery tracking at each sink.
+// hooks delivery tracking at each sink. Flow fields were validated by
+// Build, so every flow here is well-formed.
 func (sc *Scenario) startFlows() {
 	for fi, f := range sc.Cfg.Flows {
 		fi, f := fi, f
-		if f.From < 0 || f.From >= sc.Cfg.N || f.To < 0 || f.To >= sc.Cfg.N || f.From == f.To {
-			continue
-		}
 		st := &flowStat{}
 		sc.flowStats[fi] = st
 		src, dst := sc.Nodes[f.From], sc.Nodes[f.To]
@@ -384,9 +458,6 @@ func (sc *Scenario) startFlows() {
 		}
 
 		interval := f.Interval
-		if interval <= 0 {
-			interval = time.Second
-		}
 		count := int((sc.Cfg.Duration - f.Start) / interval)
 		payload := make([]byte, f.Size)
 		for k := 0; k < count; k++ {

@@ -1,0 +1,318 @@
+package sbr6_test
+
+// Tests for the public facade: eager option validation, the interactive
+// Network surface, observer streaming, and the batch runner's determinism
+// guarantee (same seed => byte-identical Result, serial or parallel).
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sbr6"
+)
+
+// fastSpec returns a small grid scenario sized for test runtimes.
+func fastSpec(t *testing.T, extra ...sbr6.Option) *sbr6.Scenario {
+	t.Helper()
+	opts := append([]sbr6.Option{
+		sbr6.WithSeed(1),
+		sbr6.WithNodes(9),
+		sbr6.WithPlacement(sbr6.PlaceGrid),
+		sbr6.WithFastTimers(),
+		sbr6.WithWarmup(time.Second),
+		sbr6.WithDuration(10 * time.Second),
+		sbr6.WithCooldown(2 * time.Second),
+		sbr6.WithFlows(sbr6.Flow{From: 1, To: 8, Interval: 500 * time.Millisecond, Size: 64}),
+	}, extra...)
+	sc, err := sbr6.NewScenario(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []sbr6.Option
+		want string // substring of the error
+	}{
+		{"one node", []sbr6.Option{sbr6.WithNodes(1)}, "at least 2"},
+		{"negative area", []sbr6.Option{sbr6.WithArea(-10, 100)}, "WithArea"},
+		{"infinite area", []sbr6.Option{sbr6.WithArea(math.Inf(1), 100)}, "finite"},
+		{"NaN radio range", []sbr6.Option{sbr6.WithRadio(sbr6.Radio{Range: math.NaN()})}, "finite"},
+		{"NaN mobility", []sbr6.Option{sbr6.WithMobility(sbr6.Mobility{MaxSpeed: math.NaN()})}, "speeds"},
+		{"flow from out of range", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithFlows(sbr6.Flow{From: 9, To: 1, Interval: time.Second}),
+		}, "From=9"},
+		{"flow to out of range", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: -1, Interval: time.Second}),
+		}, "To=-1"},
+		{"flow to itself", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithFlows(sbr6.Flow{From: 2, To: 2, Interval: time.Second}),
+		}, "From and To are both 2"},
+		{"flow zero interval", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 2}),
+		}, "interval"},
+		{"flow negative start", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 2, Interval: time.Second, Start: -time.Second}),
+		}, "start"},
+		{"adversary on dns anchor", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.BlackHole(0)),
+		}, "node 0 is the DNS anchor"},
+		{"adversary out of range", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.BlackHole(7)),
+		}, "outside"},
+		{"two adversaries on one node", []sbr6.Option{
+			sbr6.WithNodes(5),
+			sbr6.WithAdversaries(sbr6.BlackHole(2), sbr6.RERRSpammer(2)),
+		}, "assigned both"},
+		{"zero-value adversary", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.Adversary{}),
+		}, "zero-value"},
+		{"impersonator self-victim", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.Impersonate(2, 2)),
+		}, "victim"},
+		{"name out of range", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithName(9, "host"),
+		}, "references node 9"},
+		{"preload out of range", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithPreload("srv", 9),
+		}, "references node 9"},
+		{"empty name", []sbr6.Option{sbr6.WithName(1, "")}, "empty name"},
+		{"loss out of range", []sbr6.Option{sbr6.WithLoss(1.5)}, "WithLoss"},
+		{"radio loss NaN", []sbr6.Option{sbr6.WithRadio(sbr6.Radio{LossRate: math.NaN()})}, "loss rate"},
+		{"bad mobility speeds", []sbr6.Option{
+			sbr6.WithMobility(sbr6.Mobility{MinSpeed: 5, MaxSpeed: 1}),
+		}, "speeds"},
+		{"zero duration", []sbr6.Option{sbr6.WithDuration(0)}, "WithDuration"},
+		{"negative warmup", []sbr6.Option{sbr6.WithWarmup(-time.Second)}, "WithWarmup"},
+		{"zero window", []sbr6.Option{sbr6.WithWindows(0)}, "WithWindows"},
+		{"bad spacing", []sbr6.Option{sbr6.WithSpacing(0)}, "WithSpacing"},
+		{"bad suite", []sbr6.Option{sbr6.WithSuite(sbr6.Suite(42))}, "suite"},
+		{"bad rerr threshold", []sbr6.Option{sbr6.WithRERRThreshold(0)}, "WithRERRThreshold"},
+		{"nil option", []sbr6.Option{nil}, "nil option"},
+		{"nil tap", []sbr6.Option{sbr6.WithTap(nil)}, "WithTap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sbr6.NewScenario(tc.opts...)
+			if err == nil {
+				t.Fatalf("invalid options accepted")
+			}
+			if !errors.Is(err, sbr6.ErrOption) {
+				t.Fatalf("error does not wrap ErrOption: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidScenarioDefaults(t *testing.T) {
+	sc, err := sbr6.NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Nodes() != 25 || sc.Seed() != 1 {
+		t.Fatalf("defaults: nodes=%d seed=%d", sc.Nodes(), sc.Seed())
+	}
+}
+
+func TestNetworkInteractive(t *testing.T) {
+	sc, err := sbr6.NewScenario(
+		sbr6.WithNodes(5),
+		sbr6.WithPlacement(sbr6.PlaceLine),
+		sbr6.WithFastTimers(),
+		sbr6.WithName(4, "sensor-hub"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Bootstrap(); got != 5 {
+		t.Fatalf("configured %d/5", got)
+	}
+	nw.RunFor(time.Second)
+
+	var hub sbr6.Addr
+	var found bool
+	nw.Node(1).Resolve("sensor-hub", func(a sbr6.Addr, ok bool) { hub, found = a, ok })
+	nw.RunFor(5 * time.Second)
+	if !found || hub != nw.Node(4).Addr() {
+		t.Fatalf("resolve failed: found=%v hub=%s", found, hub)
+	}
+
+	received := 0
+	nw.Node(4).OnData(func(src sbr6.Addr, payload []byte) { received++ })
+	nw.Node(1).SendData(hub, []byte("ping"))
+	nw.RunFor(5 * time.Second)
+	if received != 1 {
+		t.Fatalf("received %d packets, want 1", received)
+	}
+	if relays, ok := nw.Node(1).Route(hub); !ok || relays == 0 {
+		t.Fatalf("route to hub: relays=%d ok=%v", relays, ok)
+	}
+	if nw.Metric("crypto.verify") == 0 {
+		t.Fatal("no verifications counted on a secure run")
+	}
+}
+
+// TestRunBatchDeterminism is the facade's core guarantee: the same seed
+// yields an identical Result whether run serially or through the parallel
+// worker pool, adversaries included.
+func TestRunBatchDeterminism(t *testing.T) {
+	mk := func() *sbr6.Scenario {
+		return fastSpec(t,
+			sbr6.WithWindows(5*time.Second),
+			sbr6.WithAdversaries(sbr6.BlackHole(4)),
+		)
+	}
+	seeds := sbr6.SeedRange(1, 4)
+
+	serial := &sbr6.Runner{Workers: 1}
+	sb, err := serial.RunBatch(context.Background(), mk(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	parallel := &sbr6.Runner{Workers: 4}
+	pb, err := parallel.RunBatch(ctx, mk(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sb.Results) != len(pb.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(sb.Results), len(pb.Results))
+	}
+	for i := range sb.Results {
+		if !reflect.DeepEqual(sb.Results[i], pb.Results[i]) {
+			t.Fatalf("seed %d: serial and parallel results differ:\nserial:   %v\nparallel: %v",
+				sb.Seeds[i], sb.Results[i], pb.Results[i])
+		}
+	}
+
+	// A direct interactive run of the same seed agrees too.
+	nw, err := mk().BuildSeed(seeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct := nw.Run(); !reflect.DeepEqual(direct, sb.Results[0]) {
+		t.Fatalf("direct run differs from batch:\ndirect: %v\nbatch:  %v", direct, sb.Results[0])
+	}
+
+	if sb.PDR.N != len(seeds) || sb.PDR.Mean <= 0 || sb.PDR.Mean > 1 {
+		t.Fatalf("suspicious PDR stat: %+v", sb.PDR)
+	}
+	if sb.PDR.Min > sb.PDR.Mean || sb.PDR.Max < sb.PDR.Mean {
+		t.Fatalf("stat bounds wrong: %+v", sb.PDR)
+	}
+}
+
+func TestRunnerObserverStreams(t *testing.T) {
+	sc := fastSpec(t, sbr6.WithWindows(2*time.Second))
+	var started, finished int
+	var windows []sbr6.WindowStat
+	r := &sbr6.Runner{Workers: 2, Observer: sbr6.ObserverFuncs{
+		OnRunStarted: func(seed int64) { started++ },
+		OnWindow: func(seed int64, w sbr6.WindowStat) {
+			if seed == 1 {
+				windows = append(windows, w)
+			}
+		},
+		OnRunFinished: func(seed int64, r *sbr6.Result) { finished++ },
+	}}
+	batch, err := r.RunBatch(context.Background(), sc, sbr6.Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 2 || finished != 2 {
+		t.Fatalf("observer saw %d starts, %d finishes; want 2/2", started, finished)
+	}
+	if len(windows) != 5 { // 10 s duration / 2 s windows
+		t.Fatalf("streamed %d windows, want 5", len(windows))
+	}
+	for i, w := range windows {
+		if w.Start != time.Duration(i)*2*time.Second {
+			t.Fatalf("window %d starts at %v", i, w.Start)
+		}
+	}
+	// The streamed windows match the final result's recorded windows.
+	res := batch.Results[0]
+	for i, w := range res.Windows {
+		if windows[i] != w {
+			t.Fatalf("window %d streamed %+v but recorded %+v", i, windows[i], w)
+		}
+	}
+	if batch.Results[0].Seed != 1 || batch.Results[1].Seed != 2 {
+		t.Fatalf("batch results not in seed order: %v", batch.Seeds)
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	sc := fastSpec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &sbr6.Runner{Workers: 2}
+	batch, err := r.RunBatch(ctx, sc, sbr6.SeedRange(1, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if batch.Completed() != 0 {
+		t.Fatalf("%d replicates completed under a cancelled context", batch.Completed())
+	}
+}
+
+func TestAdversaryStateIsolatedPerRun(t *testing.T) {
+	sc := fastSpec(t, sbr6.WithAdversaries(sbr6.ForgingBlackHole(4)))
+	nw1, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw1.AdversaryState(4) == nil || nw1.AdversaryState(4) == nw2.AdversaryState(4) {
+		t.Fatal("adversary state shared between runs")
+	}
+	if nw1.AdversaryState(3) != nil {
+		t.Fatal("honest node reports adversary state")
+	}
+}
+
+// TestTapSerializedAcrossBatch shares one tap callback between parallel
+// replicates; under -race this fails if tap delivery is not serialized.
+func TestTapSerializedAcrossBatch(t *testing.T) {
+	events := 0
+	sc := fastSpec(t, sbr6.WithTap(func(sbr6.TapEvent) { events++ }))
+	if _, err := (&sbr6.Runner{Workers: 4}).RunBatch(context.Background(), sc, sbr6.SeedRange(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("tap saw no receptions")
+	}
+}
+
+func TestRunBatchNoSeeds(t *testing.T) {
+	sc := fastSpec(t)
+	if _, err := (&sbr6.Runner{}).RunBatch(context.Background(), sc, nil); !errors.Is(err, sbr6.ErrOption) {
+		t.Fatalf("err = %v", err)
+	}
+}
