@@ -16,6 +16,8 @@ import (
 	"sbr6/internal/cga"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
+	"sbr6/internal/radio"
+	"sbr6/internal/scalebench"
 	"sbr6/internal/wire"
 )
 
@@ -319,6 +321,38 @@ func BenchmarkE4Collision(b *testing.B) {
 		cga.TruncatedID(pub, uint64(i), 16)
 	}
 }
+
+// --- scale: naive O(N^2) medium vs the spatial grid at 250-4000 nodes ---
+//
+// Constant-density flood rounds (every node broadcasts, every neighbour
+// set queried — the DAD/RREQ traffic shape). The acceptance bar for the
+// spatial index is >= 5x at 1000 nodes; run with
+//
+//	go test -run xxx -bench ScaleNodes -benchtime 3x sbr6
+//
+// cmd/sbrbench -scale -json regenerates BENCH_scale.json from the same
+// workload.
+
+func benchmarkScale(b *testing.B, n int) {
+	for _, mode := range []struct {
+		name string
+		kind radio.IndexKind
+	}{{"naive", radio.IndexNaive}, {"grid", radio.IndexGrid}} {
+		b.Run(mode.name, func(b *testing.B) {
+			nw := scalebench.BuildScaleNetwork(n, mode.kind, 1)
+			nw.Round() // warm mobility legs and the index
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Round()
+			}
+		})
+	}
+}
+
+func BenchmarkScaleNodes250(b *testing.B)  { benchmarkScale(b, 250) }
+func BenchmarkScaleNodes1000(b *testing.B) { benchmarkScale(b, 1000) }
+func BenchmarkScaleNodes4000(b *testing.B) { benchmarkScale(b, 4000) }
 
 // --- the batch runner itself: parallel fan-out over seed replicates ---
 

@@ -11,6 +11,8 @@
 //	manetsim -n 30 -waypoint -speed 5 -loss 0.05    # mobile, lossy
 //	manetsim -n 16 -reps 8 -blackholes 1            # parallel multi-seed batch
 //	manetsim -n 9 -windows 5s -progress             # stream per-window PDR
+//	manetsim -n 2000 -stagger 5ms -duration 10s     # thousand-node scale run
+//	manetsim -n 100 -index naive                    # force the O(N) medium
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 		waypoint   = flag.Bool("waypoint", false, "random waypoint mobility")
 		speed      = flag.Float64("speed", 5, "max waypoint speed m/s")
 		duration   = flag.Duration("duration", 30*time.Second, "measurement window")
+		index      = flag.String("index", "auto", "radio neighbor index: auto, naive or grid (results are identical)")
+		stagger    = flag.Duration("stagger", 0, "delay between DAD starts (0 = safe default; shrink it for 1k+ nodes)")
 		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
 		progress   = flag.Bool("progress", false, "stream per-run and per-window progress to stderr")
 		flows      = flag.Int("flows", 2, "number of CBR flows")
@@ -59,6 +63,24 @@ func main() {
 		sbr6.WithDNSCommitDelay(500 * time.Millisecond),
 		sbr6.WithDuration(*duration),
 		sbr6.WithRadioRange(*rng),
+	}
+	switch *index {
+	case "auto":
+		opts = append(opts, sbr6.WithMediumIndex(sbr6.MediumAuto))
+	case "naive":
+		opts = append(opts, sbr6.WithMediumIndex(sbr6.MediumNaive))
+	case "grid":
+		opts = append(opts, sbr6.WithMediumIndex(sbr6.MediumGrid))
+	default:
+		fmt.Fprintf(os.Stderr, "manetsim: -index %q must be auto, naive or grid\n", *index)
+		os.Exit(2)
+	}
+	if *stagger < 0 {
+		fmt.Fprintf(os.Stderr, "manetsim: -stagger %v must not be negative\n", *stagger)
+		os.Exit(2)
+	}
+	if *stagger > 0 {
+		opts = append(opts, sbr6.WithBootStagger(*stagger))
 	}
 	if !*secure {
 		opts = append(opts, sbr6.WithBaseline())

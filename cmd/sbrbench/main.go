@@ -13,9 +13,12 @@
 //	sbrbench -exp all            # everything, full sweeps
 //	sbrbench -exp S2,E3 -quick   # selected experiments, small sweeps
 //	sbrbench -list               # enumerate experiments
+//	sbrbench -scale -json        # radio-medium scale sweep, JSON output
+//	                             # (this is what seeds BENCH_scale.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,9 @@ import (
 
 	"sbr6"
 	"sbr6/internal/experiments"
+	"sbr6/internal/radio"
+	"sbr6/internal/scalebench"
+	"sbr6/internal/trace"
 )
 
 func main() {
@@ -35,8 +41,20 @@ func main() {
 		progress = flag.Bool("progress", false, "stream per-run progress to stderr while experiments execute")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list available experiments and exit")
+		scale    = flag.Bool("scale", false, "run the radio-medium scale sweep (naive vs grid) instead of experiments")
+		jsonOut  = flag.Bool("json", false, "with -scale, emit the results as JSON (seeds BENCH_scale.json)")
+		rounds   = flag.Int("rounds", 3, "flood rounds per scale cell")
 	)
 	flag.Parse()
+
+	if *scale {
+		if *rounds < 1 {
+			fmt.Fprintf(os.Stderr, "sbrbench: -rounds %d must be at least 1\n", *rounds)
+			os.Exit(2)
+		}
+		runScaleSweep(*seed, *rounds, *jsonOut)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -63,11 +81,47 @@ func main() {
 		}
 	}
 
+	runExperiments(selected, opts, *csv)
+}
+
+// runScaleSweep measures the constant-density flood workload at 250, 1000
+// and 4000 nodes on both medium index kinds and reports the wall time per
+// round plus the naive/grid speedup.
+func runScaleSweep(seed int64, rounds int, jsonOut bool) {
+	sizes := []int{250, 1000, 4000}
+	kinds := []radio.IndexKind{radio.IndexNaive, radio.IndexGrid}
+	var results []scalebench.ScaleResult
+	for _, n := range sizes {
+		for _, kind := range kinds {
+			results = append(results, scalebench.RunScale(n, kind, seed, rounds, time.Now))
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	t := trace.NewTable("radio medium scale sweep (wall ms per flood round)",
+		"nodes", "naive", "grid", "speedup", "mean degree")
+	for i := 0; i < len(results); i += 2 {
+		nv, gr := results[i], results[i+1]
+		t.Add(fmt.Sprint(nv.Nodes),
+			fmt.Sprintf("%.1f", nv.WallMS), fmt.Sprintf("%.1f", gr.WallMS),
+			fmt.Sprintf("%.1fx", nv.WallMS/gr.WallMS), fmt.Sprintf("%.1f", nv.Degree))
+	}
+	fmt.Println(t.String())
+}
+
+func runExperiments(selected []experiments.Experiment, opts experiments.Options, csv bool) {
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		for _, tb := range e.Run(opts) {
-			if *csv {
+			if csv {
 				fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
 			} else {
 				fmt.Println(tb.String())

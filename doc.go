@@ -40,6 +40,17 @@
 // resolve a name, poke individual nodes, advance virtual time — Build
 // instantiates a Network with per-node handles.
 //
+// # Medium indexing and scale
+//
+// The radio medium resolves receivers either by scanning every node or
+// through a uniform spatial hash grid (automatic at >= 64 nodes). The two
+// index kinds are observationally identical — same receiver sets, same
+// delivery ordering, same RNG consumption, so per-seed Results match
+// byte-for-byte — and the grid makes 1k-10k-node scenarios affordable.
+// WithMediumIndex forces a kind (e.g. to benchmark one against the
+// other); WithBootStagger shortens the serial DAD schedule that otherwise
+// dominates large bootstraps.
+//
 // Layout:
 //
 //	.                    public facade: options, Runner, Network, Observer

@@ -90,15 +90,11 @@ func (n *Node) handleAck(pkt *wire.Packet, m *wire.Ack) {
 	if n.cfg.UseCredits {
 		n.credits.Reward(sd.relays)
 	}
-	// Probe acknowledgements are keyed by flow id; the probe's target is a
-	// relay, not the destination the probe state is filed under.
-	if m.FlowID >= probeFlowBase {
-		for _, pr := range n.probes {
-			if idx, isProbe := pr.flows[m.FlowID]; isProbe {
-				pr.acked[idx] = true
-				break
-			}
-		}
+	// A probe packet's ack marks its own probe's target as answered; the
+	// sentData carries the link because probe flow ids are not unique
+	// across probes.
+	if sd.probe != nil {
+		sd.probe.acked[sd.probeIdx] = true
 	}
 }
 
@@ -140,17 +136,15 @@ func (n *Node) startProbe(dst ipv6.Addr, relays []ipv6.Addr) {
 	pr := &probeState{
 		relays: append([]ipv6.Addr(nil), relays...),
 		acked:  make([]bool, len(targets)),
-		flows:  make(map[uint32]int),
 	}
 	n.probes[dst] = pr
 	n.met.Add1("probe.started")
 	for i, target := range targets {
 		flow := probeFlowBase + uint32(len(n.probes))<<8 + uint32(i)
-		pr.flows[flow] = i
 		n.dataSeq++
 		seq := n.dataSeq
 		key := ackKey{flow, seq}
-		sd := &sentData{dst: target, relays: relays[:i]}
+		sd := &sentData{dst: target, relays: relays[:i], probe: pr, probeIdx: i}
 		sd.timer = n.sim.After(n.cfg.AckTimeout, func() { n.ackTimeout(key) })
 		n.outstanding[key] = sd
 		pkt := &wire.Packet{

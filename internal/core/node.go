@@ -169,6 +169,14 @@ type sentData struct {
 	dst    ipv6.Addr
 	relays []ipv6.Addr
 	timer  *sim.Timer
+
+	// probe links a probe packet back to the probe that sent it, so its
+	// acknowledgement marks exactly that probe's target as answered.
+	// Resolving the probe through the flow id instead would be ambiguous:
+	// probe flow ids can repeat across probes, and picking a winner by
+	// iterating the probes map made runs nondeterministic.
+	probe    *probeState
+	probeIdx int
 }
 
 type discovery struct {
@@ -181,7 +189,6 @@ type discovery struct {
 type probeState struct {
 	relays []ipv6.Addr
 	acked  []bool
-	flows  map[uint32]int // probe flow id -> relay index
 }
 
 type resolveState struct {

@@ -1,0 +1,145 @@
+package geom
+
+import "math"
+
+// Grid is a uniform spatial hash over integer ids with associated points.
+// It answers circle queries — "which stored points lie within r of p?" — by
+// scanning only the cells the circle's bounding box touches, instead of every
+// stored point. With a cell size on the order of the query radius, a query
+// costs O(occupancy of ~3x3 cells) rather than O(n).
+//
+// The grid stores a snapshot position per id; callers that index moving
+// objects re-bucket lazily (see radio.Medium) and widen the query radius by
+// the maximum drift since the last re-bucket, so pruning never loses a true
+// neighbour. Coordinates may be negative; cells extend over the whole plane.
+//
+// The zero value is not usable; call NewGrid.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]gridEntry
+	where map[int]gridSlot
+}
+
+type cellKey struct{ ix, iy int32 }
+
+type gridEntry struct {
+	id int
+	p  Point
+}
+
+// gridSlot remembers which bucket an id sits in and at which index, so Set
+// and Remove are O(1) via swap-removal.
+type gridSlot struct {
+	key cellKey
+	idx int
+	p   Point
+}
+
+// NewGrid returns an empty grid with the given cell side length in metres.
+// Non-positive cell sizes are clamped to 1.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 || math.IsNaN(cell) || math.IsInf(cell, 0) {
+		cell = 1
+	}
+	return &Grid{
+		cell:  cell,
+		cells: make(map[cellKey][]gridEntry),
+		where: make(map[int]gridSlot),
+	}
+}
+
+// Cell returns the grid's cell side length.
+func (g *Grid) Cell() float64 { return g.cell }
+
+// Len returns the number of stored ids.
+func (g *Grid) Len() int { return len(g.where) }
+
+// keyFor maps a point to its cell coordinates.
+func (g *Grid) keyFor(p Point) cellKey {
+	return cellKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// Set inserts id at p, or moves it there if already stored. Moving within
+// the same cell only updates the snapshot position.
+func (g *Grid) Set(id int, p Point) {
+	key := g.keyFor(p)
+	if slot, ok := g.where[id]; ok {
+		if slot.key == key {
+			g.cells[key][slot.idx].p = p
+			slot.p = p
+			g.where[id] = slot
+			return
+		}
+		g.removeFromCell(slot)
+	}
+	bucket := g.cells[key]
+	g.where[id] = gridSlot{key: key, idx: len(bucket), p: p}
+	g.cells[key] = append(bucket, gridEntry{id: id, p: p})
+}
+
+// Remove deletes id from the grid; unknown ids are a no-op.
+func (g *Grid) Remove(id int) {
+	slot, ok := g.where[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(slot)
+	delete(g.where, id)
+}
+
+// removeFromCell swap-removes the entry at slot from its bucket, fixing up
+// the moved entry's recorded index.
+func (g *Grid) removeFromCell(slot gridSlot) {
+	bucket := g.cells[slot.key]
+	last := len(bucket) - 1
+	if slot.idx != last {
+		moved := bucket[last]
+		bucket[slot.idx] = moved
+		ms := g.where[moved.id]
+		ms.idx = slot.idx
+		g.where[moved.id] = ms
+	}
+	bucket = bucket[:last]
+	if len(bucket) == 0 {
+		delete(g.cells, slot.key)
+	} else {
+		g.cells[slot.key] = bucket
+	}
+}
+
+// At returns the stored position of id.
+func (g *Grid) At(id int) (Point, bool) {
+	slot, ok := g.where[id]
+	return slot.p, ok
+}
+
+// Query appends to out the ids of every stored point within r of p
+// (inclusive of the boundary) and returns the extended slice. Pass a reused
+// buffer with out[:0] to avoid allocations. The order of appended ids is
+// deterministic for a fixed sequence of Set/Remove calls but otherwise
+// unspecified; callers needing a canonical order must sort.
+func (g *Grid) Query(p Point, r float64, out []int) []int {
+	g.Visit(p, r, func(id int) { out = append(out, id) })
+	return out
+}
+
+// Visit calls fn once for every stored point within r of p (inclusive of
+// the boundary), in the same unspecified-but-deterministic order as Query.
+// fn must not mutate the grid.
+func (g *Grid) Visit(p Point, r float64, fn func(id int)) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	lo := g.keyFor(Point{p.X - r, p.Y - r})
+	hi := g.keyFor(Point{p.X + r, p.Y + r})
+	for ix := lo.ix; ix <= hi.ix; ix++ {
+		for iy := lo.iy; iy <= hi.iy; iy++ {
+			for _, e := range g.cells[cellKey{ix, iy}] {
+				if p.Dist2(e.p) <= r2 {
+					fn(e.id)
+				}
+			}
+		}
+	}
+}

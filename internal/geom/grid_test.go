@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// bruteQuery is the reference implementation: a linear scan over every
+// stored point with the same inclusive boundary rule as Grid.Query.
+func bruteQuery(pts map[int]Point, c Point, r float64) []int {
+	var out []int
+	r2 := r * r
+	for id, p := range pts {
+		if c.Dist2(p) <= r2 {
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func sortedQuery(g *Grid, c Point, r float64) []int {
+	out := g.Query(c, r, nil)
+	slices.Sort(out)
+	return out
+}
+
+func TestGridBasicOps(t *testing.T) {
+	g := NewGrid(100)
+	if g.Cell() != 100 || g.Len() != 0 {
+		t.Fatalf("fresh grid: cell=%v len=%d", g.Cell(), g.Len())
+	}
+	g.Set(1, Point{X: 10, Y: 10})
+	g.Set(2, Point{X: 20, Y: 10})
+	g.Set(1, Point{X: 15, Y: 10}) // move within the same cell
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if p, ok := g.At(1); !ok || p != (Point{X: 15, Y: 10}) {
+		t.Fatalf("At(1) = %v, %v", p, ok)
+	}
+	g.Set(2, Point{X: 950, Y: -320}) // move across cells, negative coords
+	if got := sortedQuery(g, Point{X: 950, Y: -320}, 1); !slices.Equal(got, []int{2}) {
+		t.Fatalf("query after move = %v", got)
+	}
+	g.Remove(2)
+	g.Remove(99) // unknown id is a no-op
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	if _, ok := g.At(2); ok {
+		t.Fatal("removed id still stored")
+	}
+	if got := g.Query(Point{}, -1, nil); got != nil {
+		t.Fatalf("negative radius returned %v", got)
+	}
+	if NewGrid(0).Cell() != 1 {
+		t.Fatal("non-positive cell size not clamped")
+	}
+}
+
+// Points exactly on the range boundary must be included, wherever the
+// boundary falls relative to cell edges.
+func TestGridBoundaryInclusive(t *testing.T) {
+	for _, cell := range []float64{50, 100, 250, 1000} {
+		g := NewGrid(cell)
+		c := Point{X: 123, Y: -77}
+		r := 250.0
+		g.Set(1, Point{X: c.X + r, Y: c.Y}) // exactly on the boundary
+		g.Set(2, Point{X: c.X - r, Y: c.Y})
+		g.Set(3, Point{X: c.X, Y: c.Y + r})
+		g.Set(4, Point{X: c.X, Y: c.Y - r})
+		g.Set(5, c) // the centre itself
+		g.Set(6, Point{X: c.X + r + 1e-6, Y: c.Y})
+		got := sortedQuery(g, c, r)
+		if !slices.Equal(got, []int{1, 2, 3, 4, 5}) {
+			t.Fatalf("cell=%v: boundary query = %v", cell, got)
+		}
+	}
+}
+
+// Property: after an arbitrary interleaving of inserts, moves and removals,
+// a circle query through the grid equals the brute-force distance scan —
+// including points exactly on the boundary, which the generator plants
+// deliberately.
+func TestPropertyGridEqualsBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cell := []float64{25, 100, 250, 400}[rng.Intn(4)]
+		g := NewGrid(cell)
+		mirror := map[int]Point{}
+		randPoint := func() Point {
+			// Span several cells on both sides of the origin.
+			return Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000}
+		}
+		nOps := 50 + rng.Intn(200)
+		for i := 0; i < nOps; i++ {
+			id := rng.Intn(60)
+			switch rng.Intn(4) {
+			case 0, 1: // insert or move
+				p := randPoint()
+				g.Set(id, p)
+				mirror[id] = p
+			case 2: // remove (possibly unknown)
+				g.Remove(id)
+				delete(mirror, id)
+			case 3: // node toggled down and up elsewhere: move far away
+				p := randPoint().Scale(2)
+				g.Set(id, p)
+				mirror[id] = p
+			}
+		}
+		if g.Len() != len(mirror) {
+			return false
+		}
+		for q := 0; q < 20; q++ {
+			c := randPoint()
+			r := rng.Float64() * 600
+			if q%5 == 0 && len(mirror) > 0 {
+				// Plant a point exactly at distance r from the centre.
+				ids := make([]int, 0, len(mirror))
+				for id := range mirror {
+					ids = append(ids, id)
+				}
+				slices.Sort(ids)
+				id := ids[rng.Intn(len(ids))]
+				p := Point{X: c.X + r, Y: c.Y}
+				g.Set(id, p)
+				mirror[id] = p
+			}
+			if !slices.Equal(sortedQuery(g, c, r), bruteQuery(mirror, c, r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Query must reuse the caller's buffer when it has capacity.
+func TestGridQueryReusesBuffer(t *testing.T) {
+	g := NewGrid(100)
+	for i := 0; i < 32; i++ {
+		g.Set(i, Point{X: float64(i), Y: 0})
+	}
+	buf := make([]int, 0, 64)
+	out := g.Query(Point{}, 1000, buf)
+	if len(out) != 32 || &out[0] != &buf[:1][0] {
+		t.Fatalf("query did not reuse the buffer (len=%d)", len(out))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = g.Query(Point{}, 1000, buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Query allocated %v times per run with a sized buffer", allocs)
+	}
+}

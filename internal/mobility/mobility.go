@@ -21,11 +21,26 @@ type Track interface {
 	Position(t sim.Time) geom.Point
 }
 
+// Bounded is implemented by tracks that can bound their own speed. The
+// radio medium's spatial index uses the bound to size the staleness slop of
+// its lazily re-bucketed position cache: a node can drift at most
+// SpeedBound times the cache age from its bucketed position. Tracks that do
+// not implement Bounded are treated as unbounded and re-bucketed exactly,
+// which is correct but slower.
+type Bounded interface {
+	// SpeedBound returns the maximum speed in metres/second the track can
+	// ever move at. Zero means the track never moves.
+	SpeedBound() float64
+}
+
 // Static is a Track that never moves.
 type Static geom.Point
 
 // Position implements Track.
 func (s Static) Position(sim.Time) geom.Point { return geom.Point(s) }
+
+// SpeedBound implements Bounded: a static node never moves.
+func (s Static) SpeedBound() float64 { return 0 }
 
 // leg is one segment of piecewise-linear motion: travel from From to To
 // during [Start, ArriveAt], then hold position until End (pause time).
@@ -47,11 +62,17 @@ func (l leg) position(t sim.Time) geom.Point {
 	return l.from.Lerp(l.to, frac)
 }
 
-// mover lazily extends a trajectory with legs produced by next.
+// mover lazily extends a trajectory with legs produced by next. The speed
+// bound is the fastest any generated leg can travel, declared up front by
+// the model that builds the mover.
 type mover struct {
-	legs []leg
-	next func(prev leg) leg
+	legs  []leg
+	next  func(prev leg) leg
+	bound float64
 }
+
+// SpeedBound implements Bounded.
+func (m *mover) SpeedBound() float64 { return m.bound }
 
 func (m *mover) Position(t sim.Time) geom.Point {
 	for m.legs[len(m.legs)-1].end < t {
@@ -96,7 +117,7 @@ func NewWaypoint(cfg WaypointConfig, start geom.Point, rng *rand.Rand) Track {
 		return leg{start: prev.end, arriveAt: arrive, end: arrive.Add(cfg.Pause), from: prev.to, to: dest}
 	}
 	seed := leg{start: 0, arriveAt: 0, end: 0, from: start, to: start}
-	return &mover{legs: []leg{seed}, next: next}
+	return &mover{legs: []leg{seed}, next: next, bound: cfg.MaxSpeed}
 }
 
 // WalkConfig parameterizes a bounded random walk: at each epoch the node
@@ -124,7 +145,7 @@ func NewWalk(cfg WalkConfig, start geom.Point, rng *rand.Rand) Track {
 		return leg{start: prev.end, arriveAt: arrive, end: arrive, from: prev.to, to: dest}
 	}
 	seed := leg{from: start, to: start}
-	return &mover{legs: []leg{seed}, next: next}
+	return &mover{legs: []leg{seed}, next: next, bound: cfg.Speed}
 }
 
 // UniformPlacement returns n independent uniform positions inside region.

@@ -54,6 +54,34 @@ func TestWaypointSpeedBound(t *testing.T) {
 	}
 }
 
+// Every built-in track declares the speed bound the radio's spatial index
+// relies on: zero for static tracks, the normalized configured maximum for
+// the movers.
+func TestTracksDeclareSpeedBounds(t *testing.T) {
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	region := geom.Rect{W: 1000, H: 1000}
+	cases := []struct {
+		name  string
+		track Track
+		want  float64
+	}{
+		{"static", Static(geom.Point{X: 1}), 0},
+		{"waypoint", NewWaypoint(WaypointConfig{Region: region, MinSpeed: 2, MaxSpeed: 15}, geom.Point{}, rng()), 15},
+		{"waypoint clamped", NewWaypoint(WaypointConfig{Region: region, MinSpeed: 5, MaxSpeed: 1}, geom.Point{}, rng()), 5},
+		{"walk", NewWalk(WalkConfig{Region: region, Speed: 7}, geom.Point{}, rng()), 7},
+		{"walk defaulted", NewWalk(WalkConfig{Region: region}, geom.Point{}, rng()), 1},
+	}
+	for _, c := range cases {
+		b, ok := c.track.(Bounded)
+		if !ok {
+			t.Fatalf("%s: track does not implement Bounded", c.name)
+		}
+		if got := b.SpeedBound(); got != c.want {
+			t.Errorf("%s: SpeedBound = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestWaypointDeterministicAndMonotoneQueries(t *testing.T) {
 	mk := func() Track {
 		return NewWaypoint(WaypointConfig{Region: geom.Rect{W: 300, H: 300}, MinSpeed: 1, MaxSpeed: 5, Pause: time.Second},

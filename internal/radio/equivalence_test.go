@@ -1,0 +1,179 @@
+package radio_test
+
+// Cross-medium equivalence: the spatial-grid index must be a pure
+// performance optimization. For every scenario in the matrix and every
+// seed, a run on the grid medium must produce a Result byte-for-byte
+// identical to the same run on the naive linear-scan medium — same
+// receiver sets, same delivery ordering, same RNG consumption, same
+// counters. The matrix deliberately covers static and mobile topologies,
+// lossy links (per-receiver RNG draws), adversaries (extra control
+// traffic) and windowed measurement.
+//
+// This lives next to the radio package it guards but runs the full
+// scenario harness on top of it, which is what "equivalent" has to mean
+// for every future scaling PR.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/core"
+	"sbr6/internal/radio"
+	"sbr6/internal/scenario"
+)
+
+// fastTimers shrinks the protocol timers the way the benchmark harness
+// does, so the matrix stays quick without losing any code path.
+func fastTimers(cfg *scenario.Config) {
+	cfg.Protocol.DAD.Timeout = 300 * time.Millisecond
+	cfg.Protocol.DiscoveryTimeout = 500 * time.Millisecond
+	cfg.Protocol.AckTimeout = 400 * time.Millisecond
+	cfg.Protocol.ResolveTimeout = 2 * time.Second
+	cfg.DNS.CommitDelay = 300 * time.Millisecond
+	cfg.BootStagger = 300 * time.Millisecond
+	cfg.Warmup = time.Second
+	cfg.Cooldown = 2 * time.Second
+}
+
+// equivalenceMatrix mirrors the repository's example scenarios: a clean
+// quickstart network, the battlefield insider attack, and an adversarial
+// mobile network under loss.
+func equivalenceMatrix() map[string]func() scenario.Config {
+	return map[string]func() scenario.Config{
+		"quickstart": func() scenario.Config {
+			cfg := scenario.DefaultConfig()
+			fastTimers(&cfg)
+			cfg.N = 25
+			cfg.Placement = scenario.PlaceGrid
+			cfg.Duration = 8 * time.Second
+			cfg.Flows = []scenario.Flow{
+				{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64},
+				{From: 7, To: 18, Interval: 700 * time.Millisecond, Size: 48},
+			}
+			return cfg
+		},
+		"battlefield": func() scenario.Config {
+			cfg := scenario.DefaultConfig()
+			fastTimers(&cfg)
+			cfg.N = 25
+			cfg.Placement = scenario.PlaceGrid
+			cfg.Duration = 10 * time.Second
+			cfg.Radio.LossRate = 0.02
+			cfg.WindowSize = 2 * time.Second
+			cfg.Behaviors = map[int]core.Behavior{
+				11: &attack.BlackHole{},
+				12: &attack.BlackHole{ForgeCacheReplies: true},
+				13: &attack.RERRSpammer{},
+			}
+			cfg.Flows = []scenario.Flow{
+				{From: 1, To: 24, Interval: 500 * time.Millisecond, Size: 64},
+				{From: 4, To: 20, Interval: 500 * time.Millisecond, Size: 64},
+				{From: 21, To: 3, Interval: 500 * time.Millisecond, Size: 64},
+			}
+			return cfg
+		},
+		"adversarial": func() scenario.Config {
+			// Mobile and lossy: waypoint motion exercises the grid's lazy
+			// re-bucketing and staleness slop, the fake DNS relay and gray
+			// hole add hostile control traffic.
+			cfg := scenario.DefaultConfig()
+			fastTimers(&cfg)
+			cfg.N = 30
+			cfg.Placement = scenario.PlaceUniform
+			cfg.Area.W, cfg.Area.H = 1200, 1200
+			cfg.Duration = 10 * time.Second
+			cfg.Radio.LossRate = 0.05
+			cfg.Mobility = scenario.MobilitySpec{
+				Waypoint: true, MinSpeed: 1, MaxSpeed: 10, Pause: time.Second,
+			}
+			cfg.Names = map[int]string{5: "server"}
+			cfg.Behaviors = map[int]core.Behavior{
+				2: &attack.FakeDNS{},
+				9: &attack.GrayHole{P: 0.5},
+			}
+			cfg.Flows = []scenario.Flow{
+				{From: 1, To: 14, Interval: 500 * time.Millisecond, Size: 64},
+				{From: 8, To: 22, Interval: 600 * time.Millisecond, Size: 64},
+			}
+			return cfg
+		},
+	}
+}
+
+// runWith builds and runs one configuration under the given index kind,
+// also reporting whether the grid was actually active.
+func runWith(t *testing.T, mk func() scenario.Config, seed int64, kind radio.IndexKind) (*scenario.Result, bool) {
+	t.Helper()
+	cfg := mk()
+	cfg.Seed = seed
+	cfg.Radio.Index = kind
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatalf("build (index=%d, seed=%d): %v", kind, seed, err)
+	}
+	return sc.Run(), sc.Medium.GridActive()
+}
+
+func TestGridMediumEquivalentToNaive(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	for name, mk := range equivalenceMatrix() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range seeds {
+				naive, naiveGrid := runWith(t, mk, seed, radio.IndexNaive)
+				grid, gridGrid := runWith(t, mk, seed, radio.IndexGrid)
+				if naiveGrid {
+					t.Fatalf("seed %d: IndexNaive activated the grid", seed)
+				}
+				if !gridGrid {
+					t.Fatalf("seed %d: IndexGrid did not activate the grid", seed)
+				}
+				if !reflect.DeepEqual(naive, grid) {
+					t.Errorf("seed %d: naive and grid media diverged:\n naive: %v\n  grid: %v",
+						seed, naive, grid)
+				}
+			}
+		})
+	}
+}
+
+// The auto kind must agree with whichever side it picks — below the
+// threshold that is the naive scan, and the result must still match a
+// forced grid run.
+func TestAutoIndexEquivalent(t *testing.T) {
+	mk := equivalenceMatrix()["quickstart"]
+	auto, gridActive := runWith(t, mk, 7, radio.IndexAuto)
+	if gridActive {
+		t.Fatal("auto index enabled the grid below the threshold")
+	}
+	forced, _ := runWith(t, mk, 7, radio.IndexGrid)
+	if !reflect.DeepEqual(auto, forced) {
+		t.Errorf("auto and forced-grid runs diverged:\n auto: %v\n grid: %v", auto, forced)
+	}
+}
+
+// Above the threshold, IndexAuto must switch to the grid mid-attachment
+// and still match a run forced onto the naive scan.
+func TestAutoIndexSwitchesAtThreshold(t *testing.T) {
+	mk := func() scenario.Config {
+		cfg := scenario.DefaultConfig()
+		fastTimers(&cfg)
+		cfg.N = radio.AutoGridThreshold + 6
+		cfg.Placement = scenario.PlaceGrid
+		cfg.Area.W, cfg.Area.H = 1600, 1600
+		cfg.Duration = 5 * time.Second
+		cfg.Flows = []scenario.Flow{
+			{From: 1, To: cfg.N - 1, Interval: time.Second, Size: 64},
+		}
+		return cfg
+	}
+	auto, gridActive := runWith(t, mk, 3, radio.IndexAuto)
+	if !gridActive {
+		t.Fatalf("auto index did not enable the grid at %d nodes", radio.AutoGridThreshold+6)
+	}
+	naive, _ := runWith(t, mk, 3, radio.IndexNaive)
+	if !reflect.DeepEqual(auto, naive) {
+		t.Errorf("auto(grid) and naive runs diverged:\n auto: %v\nnaive: %v", auto, naive)
+	}
+}

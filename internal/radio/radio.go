@@ -9,9 +9,17 @@
 //
 // Nodes are identified by a NodeID playing the role of the interface's MAC
 // address; IP-to-NodeID resolution is the upper layer's concern.
+//
+// Receiver lookup is pluggable (see IndexKind): a linear scan over all
+// ports, or a uniform spatial hash grid that answers Neighbors and
+// broadcast fan-out from the 3x3-cell neighbourhood of the transmitter.
+// Both produce byte-for-byte identical simulation results; the grid exists
+// purely to make 1k-10k-node scenarios affordable.
 package radio
 
 import (
+	"math"
+	"math/bits"
 	"time"
 
 	"sbr6/internal/geom"
@@ -37,6 +45,30 @@ func (f HandlerFunc) Deliver(from NodeID, payload []byte) { f(from, payload) }
 // PositionFunc reports a node's position at a virtual time (mobility.Track).
 type PositionFunc func(t sim.Time) geom.Point
 
+// IndexKind selects the neighbor-index implementation behind Neighbors and
+// broadcast fan-out. Every kind produces byte-for-byte identical simulation
+// results — same receiver sets, same delivery ordering, same RNG consumption
+// — so the choice is purely a time/space trade-off.
+type IndexKind int
+
+// Index kinds.
+const (
+	// IndexAuto (the zero value) scans linearly for small networks and
+	// switches to the spatial grid once the node count reaches
+	// AutoGridThreshold.
+	IndexAuto IndexKind = iota
+	// IndexNaive always scans every attached port: O(N) per query.
+	IndexNaive
+	// IndexGrid always uses the uniform spatial hash grid: O(density) per
+	// query after O(movers) amortized re-bucketing.
+	IndexGrid
+)
+
+// AutoGridThreshold is the node count at which IndexAuto switches from the
+// linear scan to the spatial grid. Below it the constant factors of the
+// grid (hashing, candidate sort) are not worth paying.
+const AutoGridThreshold = 64
+
 // Config parameterizes the medium.
 type Config struct {
 	Range           float64       // unit-disk reception radius in metres
@@ -50,6 +82,10 @@ type Config struct {
 	// unacknowledged unicast (the 802.11 retry counter). Zero keeps every
 	// loss visible to the routing layer; broadcasts are never retried.
 	UnicastRetries int
+
+	// Index selects the neighbor-index implementation; the zero value
+	// auto-picks by network size. Results are identical for every kind.
+	Index IndexKind
 }
 
 // DefaultConfig mimics a 2 Mb/s 802.11-style radio with a 250 m range.
@@ -79,6 +115,7 @@ type Stats struct {
 
 type port struct {
 	id        NodeID
+	ord       int // attachment ordinal; receiver iteration is sorted by it
 	pos       PositionFunc
 	handler   Handler
 	busyUntil sim.Time
@@ -86,12 +123,32 @@ type port struct {
 }
 
 // Medium is the shared channel all nodes transmit on.
+//
+// Receiver lookup runs either as a linear scan over every attached port or
+// through a uniform spatial hash grid (see IndexKind). The grid caches one
+// bucketed position per node and re-buckets lazily: nodes with a declared
+// speed bound (SetSpeedBound) are swept at most once per staleness quantum,
+// and queries widen their radius by the maximum drift a bounded node can
+// accumulate within that quantum, so pruning never loses a true neighbour.
+// Nodes without a bound are re-bucketed exactly whenever the clock moved —
+// always correct, but worth avoiding on the hot path.
 type Medium struct {
 	sim   *sim.Simulator
 	cfg   Config
 	ports map[NodeID]*port
 	order []NodeID // deterministic receiver iteration
+	byOrd []*port  // ports indexed by attachment ordinal
 	stats Stats
+
+	// Spatial index state; grid == nil means linear scan.
+	grid        *geom.Grid
+	speeds      []float64 // per-ord speed bound; < 0 = unbounded/unknown
+	nUnbounded  int       // how many speeds are < 0
+	maxSpeed    float64   // max declared bound, never decreases
+	lastSweep   sim.Time  // last re-bucket sweep of bounded movers
+	unboundedAt sim.Time  // instant the unbounded nodes were last re-bucketed
+	candBits    []uint64  // reusable candidate bitset (single-threaded sim)
+	nbHint      int       // size of the last Neighbors result, pre-sizes the next
 }
 
 // New creates a medium on the given simulator.
@@ -105,11 +162,16 @@ func New(s *sim.Simulator, cfg Config) *Medium {
 // Config returns the medium's configuration.
 func (m *Medium) Config() Config { return m.cfg }
 
+// GridActive reports whether receiver lookup currently runs through the
+// spatial grid (as opposed to the linear port scan).
+func (m *Medium) GridActive() bool { return m.grid != nil }
+
 // Stats returns a snapshot of the link-layer counters.
 func (m *Medium) Stats() Stats { return m.stats }
 
 // AddNode attaches a node to the medium. Adding the same id twice panics:
-// that is always a harness bug.
+// that is always a harness bug. New nodes are treated as unbounded movers
+// until SetSpeedBound declares otherwise.
 func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
 	if _, dup := m.ports[id]; dup {
 		panic("radio: duplicate NodeID")
@@ -117,8 +179,122 @@ func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
 	if pos == nil || h == nil {
 		panic("radio: nil position or handler")
 	}
-	m.ports[id] = &port{id: id, pos: pos, handler: h}
+	p := &port{id: id, ord: len(m.order), pos: pos, handler: h}
+	m.ports[id] = p
 	m.order = append(m.order, id)
+	m.byOrd = append(m.byOrd, p)
+	m.speeds = append(m.speeds, -1)
+	m.nUnbounded++
+	switch {
+	case m.grid != nil:
+		m.grid.Set(p.ord, pos(m.sim.Now()))
+	case m.cfg.Index == IndexGrid,
+		m.cfg.Index == IndexAuto && len(m.order) >= AutoGridThreshold:
+		m.enableGrid()
+	}
+}
+
+// SetSpeedBound declares that the node's position function never moves
+// faster than metresPerSec (zero = static). The spatial grid relies on the
+// bound to re-bucket lazily instead of on every query; declare it before
+// the node starts moving, and never below the node's true top speed.
+// Negative, NaN or infinite values mark the node unbounded again.
+func (m *Medium) SetSpeedBound(id NodeID, metresPerSec float64) {
+	p, ok := m.ports[id]
+	if !ok {
+		return
+	}
+	if metresPerSec < 0 || math.IsNaN(metresPerSec) || math.IsInf(metresPerSec, 0) {
+		metresPerSec = -1
+	}
+	old := m.speeds[p.ord]
+	if old < 0 && metresPerSec >= 0 {
+		m.nUnbounded--
+	} else if old >= 0 && metresPerSec < 0 {
+		m.nUnbounded++
+	}
+	m.speeds[p.ord] = metresPerSec
+	if metresPerSec > m.maxSpeed {
+		m.maxSpeed = metresPerSec
+	}
+}
+
+// enableGrid builds the spatial index over the already-attached ports.
+func (m *Medium) enableGrid() {
+	m.grid = geom.NewGrid(m.cfg.Range)
+	now := m.sim.Now()
+	for ord, p := range m.byOrd {
+		m.grid.Set(ord, p.pos(now))
+	}
+	m.lastSweep = now
+	m.unboundedAt = now
+}
+
+// slop is how far a bounded mover may have drifted from its bucketed
+// position; queries widen their radius by it so the grid never prunes a
+// true neighbour. Half the radio range balances sweep frequency against
+// candidate-set size.
+func (m *Medium) slop() float64 {
+	if m.maxSpeed <= 0 {
+		return 0
+	}
+	return m.cfg.Range * 0.5
+}
+
+// syncGrid re-buckets stale cached positions before a query at now:
+// unbounded nodes exactly whenever the clock moved, bounded movers at most
+// once per staleness quantum (slop / maxSpeed).
+func (m *Medium) syncGrid(now sim.Time) {
+	if m.nUnbounded > 0 && now != m.unboundedAt {
+		for ord, p := range m.byOrd {
+			if m.speeds[ord] < 0 {
+				m.grid.Set(ord, p.pos(now))
+			}
+		}
+		m.unboundedAt = now
+	}
+	if m.maxSpeed > 0 {
+		quantum := sim.Duration(m.slop() / m.maxSpeed * float64(time.Second))
+		if now.Sub(m.lastSweep) > quantum {
+			for ord, p := range m.byOrd {
+				if m.speeds[ord] > 0 {
+					m.grid.Set(ord, p.pos(now))
+				}
+			}
+			m.lastSweep = now
+		}
+	}
+}
+
+// gridForEach invokes fn for every port that could currently be within
+// range of a transmitter at `at` — a superset; callers must re-check exact
+// positions. Candidates are collected into a bitset indexed by attachment
+// ordinal and drained in increasing-ordinal order, so iteration matches
+// the linear scan exactly without sorting. The bitset is scratch state;
+// fn must not trigger another grid query (protocol callbacks run later,
+// from scheduled events, so this cannot recurse).
+func (m *Medium) gridForEach(at geom.Point, now sim.Time, fn func(o *port)) {
+	m.syncGrid(now)
+	words := (len(m.byOrd) + 63) >> 6
+	if cap(m.candBits) < words {
+		m.candBits = make([]uint64, words)
+	}
+	bits64 := m.candBits[:words]
+	m.grid.Visit(at, m.cfg.Range+m.slop(), func(id int) {
+		bits64[id>>6] |= 1 << (id & 63)
+	})
+	for w, word := range bits64 {
+		if word == 0 {
+			continue
+		}
+		bits64[w] = 0
+		base := w << 6
+		for word != 0 {
+			ord := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			fn(m.byOrd[ord])
+		}
+	}
 }
 
 // SetDown marks a node as failed (true) or restored (false). Down nodes
@@ -135,16 +311,37 @@ func (m *Medium) PositionOf(id NodeID) geom.Point {
 }
 
 // Neighbors returns the ids currently within range of id, in attachment
-// order. Down nodes are excluded.
+// order. Down nodes are excluded. The result is a fresh slice, pre-sized to
+// the previous call's count; hot paths that can recycle a buffer should use
+// AppendNeighbors instead.
 func (m *Medium) Neighbors(id NodeID) []NodeID {
+	out := m.AppendNeighbors(id, make([]NodeID, 0, m.nbHint))
+	m.nbHint = len(out)
+	return out
+}
+
+// AppendNeighbors appends the ids currently within range of id to out — in
+// attachment order, excluding down nodes — and returns the extended slice.
+// It allocates nothing when out has sufficient capacity.
+func (m *Medium) AppendNeighbors(id NodeID, out []NodeID) []NodeID {
 	p, ok := m.ports[id]
 	if !ok || p.down {
-		return nil
+		return out
 	}
 	now := m.sim.Now()
 	at := p.pos(now)
 	r2 := m.cfg.Range * m.cfg.Range
-	var out []NodeID
+	if m.grid != nil {
+		m.gridForEach(at, now, func(o *port) {
+			if o == p || o.down {
+				return
+			}
+			if at.Dist2(o.pos(now)) <= r2 {
+				out = append(out, o.id)
+			}
+		})
+		return out
+	}
 	for _, oid := range m.order {
 		if oid == id {
 			continue
@@ -215,7 +412,7 @@ func (m *Medium) transmit(from NodeID, payload []byte, to *NodeID, acked func(bo
 	if p.down {
 		m.stats.QueueDrops++
 		if acked != nil {
-			m.sim.After(0, func() { acked(false) })
+			m.sim.Do(0, func() { acked(false) })
 		}
 		return
 	}
@@ -228,7 +425,7 @@ func (m *Medium) transmit(from NodeID, payload []byte, to *NodeID, acked func(bo
 	if m.cfg.MaxQueueDelay > 0 && start.Sub(now) > m.cfg.MaxQueueDelay {
 		m.stats.QueueDrops++
 		if acked != nil {
-			m.sim.After(0, func() { acked(false) })
+			m.sim.Do(0, func() { acked(false) })
 		}
 		return
 	}
@@ -244,13 +441,17 @@ func (m *Medium) transmit(from NodeID, payload []byte, to *NodeID, acked func(bo
 	}
 
 	end := start.Add(dur)
-	m.sim.At(end, func() {
+	m.sim.DoAt(end, func() {
 		m.complete(p, payload, to, acked)
 	})
 }
 
 // complete runs at the end of serialization: it samples receivers from
 // positions at that instant and schedules deliveries.
+//
+// Every path — unicast lookup, grid candidates, linear scan — visits the
+// same in-range receivers in attachment order and draws the loss RNG once
+// per visit, so seeded runs are byte-for-byte identical across index kinds.
 func (m *Medium) complete(p *port, payload []byte, to *NodeID, acked func(bool)) {
 	if p.down { // went down mid-transmission
 		if acked != nil {
@@ -262,37 +463,64 @@ func (m *Medium) complete(p *port, payload []byte, to *NodeID, acked func(bool))
 	at := p.pos(now)
 	r2 := m.cfg.Range * m.cfg.Range
 	delivered := false
-	for _, oid := range m.order {
-		if oid == p.id {
-			continue
+
+	if to != nil {
+		// A real radio would overhear unicasts too; the protocol does not
+		// rely on promiscuous mode, so unicast frames reach only the
+		// addressee — looked up directly instead of scanned for.
+		if o, ok := m.ports[*to]; ok && o != p && !o.down && at.Dist2(o.pos(now)) <= r2 {
+			delivered = m.deliver(p, o, payload)
 		}
-		o := m.ports[oid]
-		if o.down || at.Dist2(o.pos(now)) > r2 {
-			continue
+		if !delivered {
+			m.stats.UnicastFails++
 		}
-		if to != nil && oid != *to {
-			// A real radio would overhear unicasts too; the protocol does
-			// not rely on promiscuous mode, so unicast frames are delivered
-			// only to the addressee.
-			continue
+		if acked != nil {
+			acked(delivered)
 		}
-		if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
-			m.stats.LostFrames++
-			continue
-		}
-		m.stats.RxFrames++
-		delivered = true
-		dst := o
-		m.sim.After(m.cfg.PropDelay, func() {
-			if !dst.down {
-				dst.handler.Deliver(p.id, payload)
+		return
+	}
+
+	if m.grid != nil {
+		m.gridForEach(at, now, func(o *port) {
+			if o == p || o.down || at.Dist2(o.pos(now)) > r2 {
+				return
+			}
+			if m.deliver(p, o, payload) {
+				delivered = true
 			}
 		})
-	}
-	if to != nil && !delivered {
-		m.stats.UnicastFails++
+	} else {
+		for _, oid := range m.order {
+			if oid == p.id {
+				continue
+			}
+			o := m.ports[oid]
+			if o.down || at.Dist2(o.pos(now)) > r2 {
+				continue
+			}
+			if m.deliver(p, o, payload) {
+				delivered = true
+			}
+		}
 	}
 	if acked != nil {
 		acked(delivered)
 	}
+}
+
+// deliver applies the per-receiver loss process and, when the frame
+// survives, schedules the handler callback after the propagation delay. It
+// reports whether the frame survived.
+func (m *Medium) deliver(p, dst *port, payload []byte) bool {
+	if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+		m.stats.LostFrames++
+		return false
+	}
+	m.stats.RxFrames++
+	m.sim.Do(m.cfg.PropDelay, func() {
+		if !dst.down {
+			dst.handler.Deliver(p.id, payload)
+		}
+	})
+	return true
 }

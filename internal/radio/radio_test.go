@@ -1,6 +1,8 @@
 package radio
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -372,6 +374,165 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if st.RxFrames != 2 {
 		t.Fatalf("rx stats: %+v", st)
+	}
+}
+
+// gridQuiet forces the spatial index on regardless of network size.
+func gridQuiet() Config {
+	cfg := quiet()
+	cfg.Index = IndexGrid
+	return cfg
+}
+
+func TestGridNeighborsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, 120)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 2000, Y: rng.Float64() * 2000}
+	}
+	naiveCfg := quiet()
+	naiveCfg.Index = IndexNaive
+	sn, sg := sim.New(1), sim.New(1)
+	naive, _ := build(sn, naiveCfg, pts...)
+	grid, _ := build(sg, gridQuiet(), pts...)
+	if naive.GridActive() {
+		t.Fatal("IndexNaive config enabled the grid")
+	}
+	if !grid.GridActive() {
+		t.Fatal("IndexGrid config did not enable the grid")
+	}
+	check := func(stage string) {
+		t.Helper()
+		for i := range pts {
+			nn := naive.Neighbors(NodeID(i))
+			gn := grid.Neighbors(NodeID(i))
+			if len(nn) != len(gn) {
+				t.Fatalf("%s: node %d: naive %v != grid %v", stage, i, nn, gn)
+			}
+			for k := range nn {
+				if nn[k] != gn[k] {
+					t.Fatalf("%s: node %d: naive %v != grid %v", stage, i, nn, gn)
+				}
+			}
+			if in, ig := naive.InRange(0, NodeID(i)), grid.InRange(0, NodeID(i)); in != ig {
+				t.Fatalf("%s: InRange(0,%d): naive %v grid %v", stage, i, in, ig)
+			}
+		}
+	}
+	check("initial")
+	for _, down := range []NodeID{3, 40, 77} {
+		naive.SetDown(down, true)
+		grid.SetDown(down, true)
+	}
+	check("after down")
+	naive.SetDown(40, false)
+	grid.SetDown(40, false)
+	check("after restore")
+}
+
+// A mover with a declared speed bound must leave (and re-enter) radio range
+// on the grid medium exactly as on the naive scan, across re-bucket sweeps.
+func TestGridMovingNodeWithSpeedBound(t *testing.T) {
+	for _, declare := range []bool{true, false} {
+		s := sim.New(1)
+		cfg := gridQuiet()
+		cfg.BitrateBps = 0
+		m := New(s, cfg)
+		got := 0
+		m.AddNode(0, fixed(geom.Point{}), HandlerFunc(func(NodeID, []byte) {}))
+		m.AddNode(1, func(t sim.Time) geom.Point {
+			return geom.Point{X: 100 * t.Seconds()} // out of 250 m range after 2.5 s
+		}, HandlerFunc(func(NodeID, []byte) { got++ }))
+		m.SetSpeedBound(0, 0)
+		if declare {
+			m.SetSpeedBound(1, 100)
+		} // else: stays unbounded and is re-bucketed exactly
+		s.After(time.Second, func() { m.Broadcast(0, []byte("early")) })
+		s.After(2*time.Second, func() {
+			if nb := m.Neighbors(1); len(nb) != 1 || nb[0] != 0 {
+				t.Errorf("declare=%v: Neighbors(1) at 2s = %v, want [0]", declare, nb)
+			}
+		})
+		s.After(10*time.Second, func() { m.Broadcast(0, []byte("late")) })
+		s.After(11*time.Second, func() {
+			if nb := m.Neighbors(0); len(nb) != 0 {
+				t.Errorf("declare=%v: Neighbors(0) at 11s = %v, want none", declare, nb)
+			}
+		})
+		s.Run()
+		if got != 1 {
+			t.Fatalf("declare=%v: deliveries = %d, want 1 (only while in range)", declare, got)
+		}
+	}
+}
+
+func TestSetSpeedBoundEdgeCases(t *testing.T) {
+	s := sim.New(1)
+	m, _ := build(s, gridQuiet(), geom.Point{}, geom.Point{X: 10})
+	m.SetSpeedBound(99, 5) // unknown id: no-op
+	m.SetSpeedBound(0, 0)
+	m.SetSpeedBound(0, -3)          // back to unbounded
+	m.SetSpeedBound(1, math.NaN())  // unbounded
+	m.SetSpeedBound(1, math.Inf(1)) // unbounded
+	m.Broadcast(0, []byte("x"))
+	s.Run()
+	if m.Stats().RxFrames != 1 {
+		t.Fatalf("RxFrames = %d", m.Stats().RxFrames)
+	}
+}
+
+// Neighbors must not churn allocations: the returned slice is pre-sized to
+// the previous count, and AppendNeighbors into a sized buffer allocates
+// nothing at all.
+func TestNeighborsAllocation(t *testing.T) {
+	for _, cfg := range []Config{quiet(), gridQuiet()} {
+		s := sim.New(1)
+		m := New(s, cfg)
+		for i := 0; i < 100; i++ {
+			m.AddNode(NodeID(i), fixed(geom.Point{X: float64(i * 20)}), HandlerFunc(func(NodeID, []byte) {}))
+			m.SetSpeedBound(NodeID(i), 0)
+		}
+		m.Neighbors(50) // warm the size hint
+		if a := testing.AllocsPerRun(100, func() { m.Neighbors(50) }); a > 1 {
+			t.Errorf("index=%d: Neighbors allocates %v/op, want <= 1", cfg.Index, a)
+		}
+		buf := make([]NodeID, 0, 128)
+		if a := testing.AllocsPerRun(100, func() { buf = m.AppendNeighbors(50, buf[:0]) }); a != 0 {
+			t.Errorf("index=%d: AppendNeighbors allocates %v/op, want 0", cfg.Index, a)
+		}
+	}
+}
+
+// BenchmarkNeighbors guards the allocation fix and shows the index
+// crossover: ~25 in-range neighbours out of 1000 attached nodes.
+func BenchmarkNeighbors(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		kind IndexKind
+	}{{"naive", IndexNaive}, {"grid", IndexGrid}} {
+		s := sim.New(1)
+		cfg := quiet()
+		cfg.Index = mode.kind
+		m := New(s, cfg)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1000; i++ {
+			p := geom.Point{X: rng.Float64() * 4000, Y: rng.Float64() * 4000}
+			m.AddNode(NodeID(i), fixed(p), HandlerFunc(func(NodeID, []byte) {}))
+			m.SetSpeedBound(NodeID(i), 0)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Neighbors(NodeID(i % 1000))
+			}
+		})
+		b.Run(mode.name+"/append", func(b *testing.B) {
+			buf := make([]NodeID, 0, 256)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = m.AppendNeighbors(NodeID(i%1000), buf[:0])
+			}
+		})
 	}
 }
 

@@ -1,0 +1,127 @@
+// Package scalebench holds the radio-layer scale workload shared by the
+// BenchmarkScaleNodes benches and cmd/sbrbench -scale: the broadcast-heavy
+// traffic shape of the protocol at 250-10000 nodes.
+package scalebench
+
+// Scale workload: the radio-layer traffic shape of the broadcast-heavy
+// protocol phases (DAD floods, DSR route discovery) at 250-10000 nodes,
+// used to compare the naive linear-scan medium against the spatial grid.
+// The node count sweeps while density stays constant — the regime the
+// paper's unit-disk model assumes — so the naive medium's per-broadcast
+// cost grows linearly with N and the grid's stays flat.
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"sbr6/internal/geom"
+	"sbr6/internal/mobility"
+	"sbr6/internal/radio"
+	"sbr6/internal/sim"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ScaleNetwork is a radio medium populated for the scale workload: nodes
+// uniformly placed at constant density (~12 neighbours each), every odd
+// node under random-waypoint motion with a declared speed bound, lossy
+// links so the per-receiver RNG path is exercised.
+type ScaleNetwork struct {
+	S *sim.Simulator
+	M *radio.Medium
+	N int
+
+	nbuf []radio.NodeID
+}
+
+// BuildScaleNetwork constructs the workload network. The area side scales
+// with sqrt(n) so the expected degree is independent of n.
+func BuildScaleNetwork(n int, kind radio.IndexKind, seed int64) *ScaleNetwork {
+	s := sim.New(seed)
+	cfg := radio.DefaultConfig()
+	cfg.Index = kind
+	cfg.LossRate = 0.05
+	m := radio.New(s, cfg)
+
+	side := 125 * math.Sqrt(float64(n))
+	region := geom.Rect{W: side, H: side}
+	placeRng := newRand(seed)
+	positions := mobility.UniformPlacement(region, n, placeRng)
+	wp := mobility.WaypointConfig{Region: region, MinSpeed: 1, MaxSpeed: 10, Pause: time.Second}
+	for i := 0; i < n; i++ {
+		var track mobility.Track
+		if i%2 == 1 {
+			track = mobility.NewWaypoint(wp, positions[i], newRand(seed+int64(i)+1))
+		} else {
+			track = mobility.Static(positions[i])
+		}
+		m.AddNode(radio.NodeID(i), track.Position, radio.HandlerFunc(func(radio.NodeID, []byte) {}))
+		m.SetSpeedBound(radio.NodeID(i), track.(mobility.Bounded).SpeedBound())
+	}
+	return &ScaleNetwork{S: s, M: m, N: n}
+}
+
+// Round performs one flood epoch: every node broadcasts a 64-byte frame
+// (the DAD/RREQ shape), the simulator drains all deliveries, and every
+// node's neighbour set is queried once (the route-maintenance shape).
+func (sn *ScaleNetwork) Round() {
+	payload := make([]byte, 64)
+	for i := 0; i < sn.N; i++ {
+		sn.M.Broadcast(radio.NodeID(i), payload)
+	}
+	sn.S.Run()
+	for i := 0; i < sn.N; i++ {
+		sn.nbuf = sn.M.AppendNeighbors(radio.NodeID(i), sn.nbuf[:0])
+	}
+	// Space the epochs out so mobility actually moves nodes between them.
+	sn.S.RunFor(time.Second)
+}
+
+// ScaleResult is one measured cell of the scale sweep, JSON-shaped for
+// BENCH_scale.json.
+type ScaleResult struct {
+	Nodes    int     `json:"nodes"`
+	Index    string  `json:"index"`
+	Rounds   int     `json:"rounds"`
+	WallMS   float64 `json:"wall_ms_per_round"`
+	Events   uint64  `json:"sim_events"`
+	TxFrames uint64  `json:"tx_frames"`
+	RxFrames uint64  `json:"rx_frames"`
+	Degree   float64 `json:"mean_degree"`
+}
+
+// RunScale measures the workload at n nodes under the given index kind.
+// Wall time is measured by the caller-supplied clock so the package stays
+// free of direct wall-time reads outside this deliberate benchmark.
+func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() time.Time) ScaleResult {
+	nw := BuildScaleNetwork(n, kind, seed)
+	nw.Round() // warm the index and mobility legs before timing
+	baseEvents, baseStats := nw.S.Processed(), nw.M.Stats()
+	start := now()
+	for r := 0; r < rounds; r++ {
+		nw.Round()
+	}
+	wall := now().Sub(start)
+	// Counters are deltas over the timed rounds only, so per-round rates
+	// derived from the JSON are not skewed by the warmup round.
+	events := nw.S.Processed() - baseEvents
+	stats := nw.M.Stats()
+	stats.TxFrames -= baseStats.TxFrames
+	stats.RxFrames -= baseStats.RxFrames
+	stats.LostFrames -= baseStats.LostFrames
+	name := map[radio.IndexKind]string{radio.IndexNaive: "naive", radio.IndexGrid: "grid"}[kind]
+	if name == "" {
+		name = "auto"
+	}
+	return ScaleResult{
+		Nodes:    n,
+		Index:    name,
+		Rounds:   rounds,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6 / float64(rounds),
+		Events:   events,
+		TxFrames: stats.TxFrames,
+		RxFrames: stats.RxFrames,
+		Degree:   float64(stats.RxFrames+stats.LostFrames) / float64(stats.TxFrames),
+	}
+}

@@ -329,6 +329,12 @@ func Build(cfg Config) (*Scenario, error) {
 			track = mobility.Static(positions[i])
 		}
 		medium.AddNode(radio.NodeID(i), track.Position, n)
+		// Declare the track's speed bound so the medium's spatial index can
+		// re-bucket lazily; tracks that cannot bound themselves stay
+		// unbounded and are re-bucketed exactly.
+		if bt, ok := track.(mobility.Bounded); ok {
+			medium.SetSpeedBound(radio.NodeID(i), bt.SpeedBound())
+		}
 		sc.Nodes = append(sc.Nodes, n)
 	}
 

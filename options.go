@@ -29,6 +29,20 @@ const (
 	PlaceLine                     // horizontal chain, Spacing metres apart
 )
 
+// MediumIndex selects the neighbor-index implementation of the radio
+// medium. Every kind produces byte-for-byte identical per-seed results;
+// the choice only trades query cost against bookkeeping, so it normally
+// stays on MediumAuto. WithMediumIndex is the escape hatch for forcing one
+// side, e.g. to benchmark the naive scan against the spatial grid.
+type MediumIndex int
+
+// Medium index kinds.
+const (
+	MediumAuto  MediumIndex = iota // linear scan below ~64 nodes, grid above
+	MediumNaive                    // always the O(N) linear port scan
+	MediumGrid                     // always the spatial hash grid
+)
+
 // Suite selects the signature algorithm of the secure protocol.
 type Suite int
 
@@ -287,6 +301,39 @@ func WithRadio(r Radio) Option {
 			MaxQueueDelay:   s.cfg.Radio.MaxQueueDelay,
 			UnicastRetries:  r.UnicastRetries,
 		}
+		return nil
+	}
+}
+
+// WithMediumIndex forces the radio medium's neighbor-index implementation.
+// The default (MediumAuto) picks the spatial grid automatically once the
+// network is large enough; per-seed results are identical either way.
+func WithMediumIndex(k MediumIndex) Option {
+	return func(s *Scenario) error {
+		switch k {
+		case MediumAuto:
+			s.cfg.Radio.Index = radio.IndexAuto
+		case MediumNaive:
+			s.cfg.Radio.Index = radio.IndexNaive
+		case MediumGrid:
+			s.cfg.Radio.Index = radio.IndexGrid
+		default:
+			return fmt.Errorf("WithMediumIndex(%d): unknown index kind: %w", k, ErrOption)
+		}
+		return nil
+	}
+}
+
+// WithBootStagger sets the delay between consecutive DAD starts during
+// bootstrap. The default — the DAD timeout plus a margin — is safest but
+// makes bootstrap time linear in the node count; thousand-node scenarios
+// want a much smaller stagger and tolerate the extra DAD contention.
+func WithBootStagger(d time.Duration) Option {
+	return func(s *Scenario) error {
+		if d <= 0 {
+			return fmt.Errorf("WithBootStagger(%v): must be positive: %w", d, ErrOption)
+		}
+		s.cfg.BootStagger = d
 		return nil
 	}
 }
