@@ -350,9 +350,39 @@ func benchmarkScale(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkScaleNodes250(b *testing.B)  { benchmarkScale(b, 250) }
-func BenchmarkScaleNodes1000(b *testing.B) { benchmarkScale(b, 1000) }
-func BenchmarkScaleNodes4000(b *testing.B) { benchmarkScale(b, 4000) }
+func BenchmarkScaleNodes250(b *testing.B)   { benchmarkScale(b, 250) }
+func BenchmarkScaleNodes1000(b *testing.B)  { benchmarkScale(b, 1000) }
+func BenchmarkScaleNodes4000(b *testing.B)  { benchmarkScale(b, 4000) }
+func BenchmarkScaleNodes10000(b *testing.B) { benchmarkScale(b, 10000) }
+
+// --- scale: route-record verification with and without the memo cache ---
+//
+// The crypto-layer companion to ScaleNodes: one node verifies the
+// duplicate-heavy chain stream of an N-node formation (see
+// scalebench.CryptoNetwork). The acceptance bar for the verification
+// cache is >= 2x at 4000+ nodes; cmd/sbrbench -scale -json measures the
+// same cells into BENCH_scale.json.
+
+func benchmarkVerifyScale(b *testing.B, n int) {
+	for _, mode := range []struct {
+		name   string
+		cached bool
+	}{{"nocache", false}, {"cache", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			nw := scalebench.BuildCryptoNetwork(n, mode.cached, 1, b.N+1)
+			nw.Round() // warm the identity/CGA side of the cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.Round()
+			}
+		})
+	}
+}
+
+func BenchmarkScaleVerify1000(b *testing.B)  { benchmarkVerifyScale(b, 1000) }
+func BenchmarkScaleVerify4000(b *testing.B)  { benchmarkVerifyScale(b, 4000) }
+func BenchmarkScaleVerify10000(b *testing.B) { benchmarkVerifyScale(b, 10000) }
 
 // --- the batch runner itself: parallel fan-out over seed replicates ---
 

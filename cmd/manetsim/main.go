@@ -13,6 +13,7 @@
 //	manetsim -n 9 -windows 5s -progress             # stream per-window PDR
 //	manetsim -n 2000 -stagger 5ms -duration 10s     # thousand-node scale run
 //	manetsim -n 100 -index naive                    # force the O(N) medium
+//	manetsim -n 100 -verifycache 0                  # disable crypto memoization
 package main
 
 import (
@@ -29,19 +30,21 @@ import (
 
 func main() {
 	var (
-		n          = flag.Int("n", 25, "node count (node 0 is the DNS server)")
-		secure     = flag.Bool("secure", true, "secure protocol (false = plain DSR)")
-		credits    = flag.Bool("credits", true, "credit management (secure mode)")
-		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -reps)")
-		reps       = flag.Int("reps", 1, "seed replicates, fanned out across the worker pool")
-		workers    = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
-		area       = flag.Float64("area", 0, "square area side in metres (0 = grid-sized)")
-		rng        = flag.Float64("range", 250, "radio range in metres")
-		loss       = flag.Float64("loss", 0, "per-receiver frame loss probability")
-		waypoint   = flag.Bool("waypoint", false, "random waypoint mobility")
-		speed      = flag.Float64("speed", 5, "max waypoint speed m/s")
-		duration   = flag.Duration("duration", 30*time.Second, "measurement window")
-		index      = flag.String("index", "auto", "radio neighbor index: auto, naive or grid (results are identical)")
+		n           = flag.Int("n", 25, "node count (node 0 is the DNS server)")
+		secure      = flag.Bool("secure", true, "secure protocol (false = plain DSR)")
+		credits     = flag.Bool("credits", true, "credit management (secure mode)")
+		seed        = flag.Int64("seed", 1, "simulation seed (first seed with -reps)")
+		reps        = flag.Int("reps", 1, "seed replicates, fanned out across the worker pool")
+		workers     = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		area        = flag.Float64("area", 0, "square area side in metres (0 = grid-sized)")
+		rng         = flag.Float64("range", 250, "radio range in metres")
+		loss        = flag.Float64("loss", 0, "per-receiver frame loss probability")
+		waypoint    = flag.Bool("waypoint", false, "random waypoint mobility")
+		speed       = flag.Float64("speed", 5, "max waypoint speed m/s")
+		duration    = flag.Duration("duration", 30*time.Second, "measurement window")
+		index       = flag.String("index", "auto", "radio neighbor index: auto, naive or grid (results are identical)")
+		verifycache = flag.Int("verifycache", sbr6.DefaultVerifyCacheEntries,
+			"per-node memoized-verification cache entries (0 disables; results are identical)")
 		stagger    = flag.Duration("stagger", 0, "delay between DAD starts (0 = safe default; shrink it for 1k+ nodes)")
 		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
 		progress   = flag.Bool("progress", false, "stream per-run and per-window progress to stderr")
@@ -82,6 +85,7 @@ func main() {
 	if *stagger > 0 {
 		opts = append(opts, sbr6.WithBootStagger(*stagger))
 	}
+	opts = append(opts, sbr6.WithVerifyCache(*verifycache))
 	if !*secure {
 		opts = append(opts, sbr6.WithBaseline())
 	}

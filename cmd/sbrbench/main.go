@@ -84,16 +84,20 @@ func main() {
 	runExperiments(selected, opts, *csv)
 }
 
-// runScaleSweep measures the constant-density flood workload at 250, 1000
-// and 4000 nodes on both medium index kinds and reports the wall time per
-// round plus the naive/grid speedup.
+// runScaleSweep measures the constant-density flood workload (naive vs
+// grid medium) and the verification workload (direct vs memo cache) at
+// 250-10000 nodes, reporting wall time per round and the speedups.
 func runScaleSweep(seed int64, rounds int, jsonOut bool) {
-	sizes := []int{250, 1000, 4000}
-	kinds := []radio.IndexKind{radio.IndexNaive, radio.IndexGrid}
+	sizes := []int{250, 1000, 4000, 10000}
 	var results []scalebench.ScaleResult
 	for _, n := range sizes {
-		for _, kind := range kinds {
+		for _, kind := range []radio.IndexKind{radio.IndexNaive, radio.IndexGrid} {
 			results = append(results, scalebench.RunScale(n, kind, seed, rounds, time.Now))
+		}
+	}
+	for _, n := range sizes {
+		for _, cached := range []bool{false, true} {
+			results = append(results, scalebench.RunCryptoScale(n, cached, seed, rounds, time.Now))
 		}
 	}
 	if jsonOut {
@@ -105,15 +109,26 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 		}
 		return
 	}
-	t := trace.NewTable("radio medium scale sweep (wall ms per flood round)",
+	radioT := trace.NewTable("radio medium scale sweep (wall ms per flood round)",
 		"nodes", "naive", "grid", "speedup", "mean degree")
+	cryptoT := trace.NewTable("verification scale sweep (wall ms per verify round)",
+		"nodes", "nocache", "cache", "speedup", "crypto ops saved")
 	for i := 0; i < len(results); i += 2 {
-		nv, gr := results[i], results[i+1]
-		t.Add(fmt.Sprint(nv.Nodes),
-			fmt.Sprintf("%.1f", nv.WallMS), fmt.Sprintf("%.1f", gr.WallMS),
-			fmt.Sprintf("%.1fx", nv.WallMS/gr.WallMS), fmt.Sprintf("%.1f", nv.Degree))
+		a, b := results[i], results[i+1]
+		switch a.Mode {
+		case "radio":
+			radioT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
+				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS), fmt.Sprintf("%.1f", a.Degree))
+		case "crypto":
+			cryptoT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
+				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS),
+				fmt.Sprintf("%d/%d", a.VerifyOps-b.VerifyOps, a.VerifyOps))
+		}
 	}
-	fmt.Println(t.String())
+	fmt.Println(radioT.String())
+	fmt.Println(cryptoT.String())
 }
 
 func runExperiments(selected []experiments.Experiment, opts experiments.Options, csv bool) {

@@ -51,6 +51,24 @@
 // other); WithBootStagger shortens the serial DAD schedule that otherwise
 // dominates large bootstraps.
 //
+// # Verification cache
+//
+// Every node memoizes its cryptographic checks — CGA bindings, signature
+// verifications and whole route-record chains — in a bounded LRU keyed by
+// SHA-256 digests of the full verified content (internal/verifycache).
+// Because both checks are pure functions of that content, a hit is
+// exactly the verdict recomputation would produce: cached and uncached
+// runs yield byte-for-byte identical per-seed Results (enforced by the
+// differential suite in internal/verifycache, adversaries included), and
+// nothing keyed by less than the full content or dependent on mutable
+// local state is ever memoized. What changes is only the number of
+// primitive crypto operations, which is what makes 10k-node formations
+// affordable: duplicate flood copies, re-served CREP attestations and
+// repeated RERRs stop costing signature verifications. The crypto.verify
+// metric deliberately counts logical requests (identical either way);
+// primitive-operation savings are reported by the cache's own Stats.
+// The cache is on by default; WithVerifyCache bounds or disables it.
+//
 // Layout:
 //
 //	.                    public facade: options, Runner, Network, Observer

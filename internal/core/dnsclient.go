@@ -69,10 +69,11 @@ func (n *Node) handleDNSAnswer(pkt *wire.Packet, m *wire.DNSAnswer) {
 		return
 	}
 	// Only the secure protocol authenticates answers; the baseline client
-	// believes whatever resolves first — the S1 attack surface.
+	// believes whatever resolves first — the S1 attack surface. The check
+	// goes through n.verify so it is counted and memoized like every other
+	// signature verification.
 	if n.cfg.Secure {
-		n.met.Add1("crypto.verify")
-		if !dnssrv.ValidateAnswer(m, n.dnsPub, st.ch) {
+		if !n.verify(n.dnsPub, wire.SigDNSAnswer(m.Name, m.IP, m.Found, st.ch), m.Sig) {
 			n.met.Add1("dns.answer_rejected")
 			return
 		}
@@ -124,8 +125,7 @@ func (n *Node) handleUpdateChal(pkt *wire.Packet, m *wire.UpdateChal) {
 	if st == nil || m.Name != n.ident.Name || st.oldIP != (ipv6.Addr{}) {
 		return // no rebind in progress, or challenge already consumed
 	}
-	n.met.Add1("crypto.verify")
-	if !dnssrv.ValidateUpdateChal(m, n.dnsPub) {
+	if !n.verify(n.dnsPub, wire.SigUpdateChal(m.Name, m.Ch), m.Sig) {
 		n.met.Add1("dns.chal_rejected")
 		return
 	}
@@ -153,8 +153,12 @@ func (n *Node) handleUpdate(pkt *wire.Packet, m *wire.Update) {
 	if n.dns == nil {
 		return
 	}
-	n.met.Inc("crypto.verify", 3) // two CGA checks + signature
-	res := n.dns.HandleUpdate(m)
+	// Count the verifications the server actually performed — it
+	// short-circuits on unknown names, stale challenges and failed CGA
+	// checks, so a flat "+3" would overcount exactly the rejected
+	// (adversarial) updates and poison cache-hit accounting.
+	res, verifies := n.dns.HandleUpdateCounted(m)
+	n.met.Inc("crypto.verify", float64(verifies))
 	n.met.Add1("crypto.sign")
 	n.SendAlong(reverse(pkt.SrcRoute), pkt.Src, res)
 }
@@ -164,8 +168,9 @@ func (n *Node) handleUpdateResult(pkt *wire.Packet, m *wire.UpdateResult) {
 	if st == nil || m.Name != n.ident.Name {
 		return
 	}
-	n.met.Add1("crypto.verify")
-	if !dnssrv.ValidateUpdateResult(m, n.dnsPub, st.ch) {
+	// The challenge comparison is free; only a matching challenge costs a
+	// signature verification.
+	if m.Ch != st.ch || !n.verify(n.dnsPub, wire.SigUpdateResult(m.Name, m.OK, m.Ch), m.Sig) {
 		n.met.Add1("dns.result_rejected")
 		return
 	}

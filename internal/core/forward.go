@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sbr6/internal/cga"
 	"sbr6/internal/dsr"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
@@ -298,8 +297,11 @@ func (n *Node) reportBrokenLink(orig *wire.Packet, next ipv6.Addr) {
 func (n *Node) handleRERR(pkt *wire.Packet, m *wire.RERR) {
 	n.met.Add1("rx.RERR")
 	if n.cfg.Secure {
+		// A reporter re-announcing the same broken link re-signs the same
+		// (IIP, NIP) content, so repeated (and spammed) RERRs hit the
+		// signature memo after the first check.
 		ipk, err := identity.ParsePublicKey(n.cfg.Suite, m.IPK)
-		if err != nil || !cga.Verify(m.IIP, m.IPK, m.Irn) ||
+		if err != nil || !n.verifyCGA(m.IIP, m.IPK, m.Irn) ||
 			!n.verify(ipk, wire.SigRERR(m.IIP, m.NIP), m.Sig) {
 			n.met.Add1("rerr.rejected")
 			return

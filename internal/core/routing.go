@@ -1,10 +1,10 @@
 package core
 
 import (
-	"sbr6/internal/cga"
 	"sbr6/internal/dsr"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
+	"sbr6/internal/verifycache"
 	"sbr6/internal/wire"
 )
 
@@ -132,12 +132,51 @@ func (n *Node) hopAttestation(seq uint32) wire.HopAttestation {
 // verifySRR runs the destination's checks from Section 3.3: the source and
 // every intermediate hop must satisfy (i) the CGA binding and (ii) a valid
 // signature over (IP, seq).
+//
+// The whole walk is memoized under a digest of every byte it reads (the
+// flood-level dedup): a node that already verified this exact source/hop
+// chain — a duplicate flood copy re-presented after the seen-set evicted
+// its id, or the same chain re-offered to the CREP path — replays the
+// stored verdict and its verification accounting instead of redoing the
+// per-hop crypto.
 func (n *Node) verifySRR(m *wire.RREQ) error {
+	if n.vcache != nil {
+		key := srrChainKey(m)
+		if err, verifies, ok := n.vcache.ChainLookup(key); ok {
+			n.met.Inc("crypto.verify", float64(verifies))
+			return err
+		}
+		before := n.met.Get("crypto.verify")
+		err := n.verifySRRSlow(m)
+		n.vcache.ChainStore(key, err, int(n.met.Get("crypto.verify")-before))
+		return err
+	}
+	return n.verifySRRSlow(m)
+}
+
+// srrChainKey digests the full content verifySRRSlow reads.
+func srrChainKey(m *wire.RREQ) verifycache.Key {
+	d := verifycache.NewChainDigest()
+	d.Bytes(m.SIP[:])
+	d.U32(m.Seq)
+	d.Bytes(m.SPK)
+	d.U64(m.Srn)
+	d.Bytes(m.SrcSig)
+	for _, h := range m.SRR {
+		d.Bytes(h.IP[:])
+		d.Bytes(h.PK)
+		d.U64(h.Rn)
+		d.Bytes(h.Sig)
+	}
+	return d.Key()
+}
+
+func (n *Node) verifySRRSlow(m *wire.RREQ) error {
 	spk, err := identity.ParsePublicKey(n.cfg.Suite, m.SPK)
 	if err != nil {
 		return errBadIdentity("source key", err)
 	}
-	if !cga.Verify(m.SIP, m.SPK, m.Srn) {
+	if !n.verifyCGA(m.SIP, m.SPK, m.Srn) {
 		return errVerify("source CGA binding")
 	}
 	if !n.verify(spk, wire.SigRREQSource(m.SIP, m.Seq), m.SrcSig) {
@@ -148,7 +187,7 @@ func (n *Node) verifySRR(m *wire.RREQ) error {
 		if err != nil {
 			return errBadIdentity("hop key", err)
 		}
-		if !cga.Verify(h.IP, h.PK, h.Rn) {
+		if !n.verifyCGA(h.IP, h.PK, h.Rn) {
 			return errVerifyHop("hop CGA binding", i)
 		}
 		if !n.verify(pk, wire.SigHop(h.IP, m.Seq), h.Sig) {
@@ -196,7 +235,7 @@ func (n *Node) handleRREP(pkt *wire.Packet, m *wire.RREP) {
 
 	if n.cfg.Secure {
 		dpk, err := identity.ParsePublicKey(n.cfg.Suite, m.DPK)
-		if err != nil || !cga.Verify(m.DIP, m.DPK, m.Drn) ||
+		if err != nil || !n.verifyCGA(m.DIP, m.DPK, m.Drn) ||
 			!n.verify(dpk, wire.SigRREP(m.SIP, m.Seq, m.RR), m.Sig) {
 			n.met.Add1("rrep.rejected")
 			return
@@ -300,15 +339,17 @@ func (n *Node) handleCREP(pkt *wire.Packet, m *wire.CREP) {
 		// Fresh half: the cache holder signs (S2IP, seq2, RRToS) now; the
 		// fresh seq2 defeats replay.
 		spk, err := identity.ParsePublicKey(n.cfg.Suite, m.SPK)
-		if err != nil || !cga.Verify(m.SIP, m.SPK, m.Srn) ||
+		if err != nil || !n.verifyCGA(m.SIP, m.SPK, m.Srn) ||
 			!n.verify(spk, wire.SigRREP(m.S2IP, m.Seq2, m.RRToS), m.Sig1) {
 			n.met.Add1("crep.rejected")
 			return
 		}
 		// Cached half: the destination's original attestation must bind the
-		// holder, its old sequence number, and the cached relays.
+		// holder, its old sequence number, and the cached relays. The same
+		// attestation recurs every time the holder re-serves its cache
+		// entry, so this is a signature-memo hot spot.
 		dpk, err := identity.ParsePublicKey(n.cfg.Suite, m.DPK)
-		if err != nil || !cga.Verify(m.DIP, m.DPK, m.Drn) ||
+		if err != nil || !n.verifyCGA(m.DIP, m.DPK, m.Drn) ||
 			!n.verify(dpk, wire.SigRREP(m.SIP, m.Seq, m.RRToD), m.Sig2) {
 			n.met.Add1("crep.rejected")
 			return

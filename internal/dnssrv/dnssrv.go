@@ -236,7 +236,17 @@ func ValidateUpdateChal(m *wire.UpdateChal, dnsPub identity.PublicKey) bool {
 // the two modifiers) and must answer the outstanding challenge with a
 // signature under that key. On success the binding moves to the new IP.
 func (s *Server) HandleUpdate(m *wire.Update) *wire.UpdateResult {
-	verdict := s.verifyUpdate(m)
+	res, _ := s.HandleUpdateCounted(m)
+	return res
+}
+
+// HandleUpdateCounted is HandleUpdate, additionally reporting how many
+// cryptographic verifications (CGA checks and signature verifications)
+// were actually performed — the walk short-circuits on unknown names,
+// missing challenges and failed checks, so the count ranges 0..3. The
+// owning node feeds it into its crypto.verify accounting.
+func (s *Server) HandleUpdateCounted(m *wire.Update) (*wire.UpdateResult, int) {
+	verdict, verifies := s.verifyUpdate(m)
 	if verdict {
 		rec := s.names[m.Name]
 		delete(s.byAddr, rec.IP)
@@ -254,26 +264,31 @@ func (s *Server) HandleUpdate(m *wire.Update) *wire.UpdateResult {
 		OK:   verdict,
 		Ch:   ch,
 		Sig:  s.ident.Sign(wire.SigUpdateResult(m.Name, verdict, ch)),
-	}
+	}, verifies
 }
 
-func (s *Server) verifyUpdate(m *wire.Update) bool {
+// verifyUpdate reports the verdict plus the number of CGA checks and
+// signature verifications it actually ran before deciding.
+func (s *Server) verifyUpdate(m *wire.Update) (bool, int) {
 	rec, ok := s.names[m.Name]
 	if !ok || rec.IP != m.OldIP {
-		return false
+		return false, 0
 	}
 	ch, ok := s.challenges[m.Name]
 	if !ok {
-		return false
+		return false, 0
 	}
 	pk, err := identity.ParsePublicKey(s.cfg.Suite, m.PK)
 	if err != nil {
-		return false
+		return false, 0
 	}
-	if !cga.Verify(m.OldIP, m.PK, m.Rn) || !cga.Verify(m.NewIP, m.PK, m.NewRn) {
-		return false
+	if !cga.Verify(m.OldIP, m.PK, m.Rn) {
+		return false, 1
 	}
-	return pk.Verify(wire.SigUpdate(m.OldIP, m.NewIP, ch), m.Sig)
+	if !cga.Verify(m.NewIP, m.PK, m.NewRn) {
+		return false, 2
+	}
+	return pk.Verify(wire.SigUpdate(m.OldIP, m.NewIP, ch), m.Sig), 3
 }
 
 // ValidateUpdateResult is the client-side check of the verdict.

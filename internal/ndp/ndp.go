@@ -38,6 +38,24 @@ var (
 	ErrNotProbing   = errors.New("ndp: no DAD in progress")
 )
 
+// Verifier abstracts the two primitive checks so a node can route them
+// through its memoized verification cache (internal/verifycache
+// implements it). A nil Verifier means direct computation.
+type Verifier interface {
+	VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool
+	VerifySig(pk identity.PublicKey, msg, sig []byte) bool
+}
+
+// directVerifier computes both checks without memoization.
+type directVerifier struct{}
+
+func (directVerifier) VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool {
+	return cga.Verify(addr, pk, rn)
+}
+func (directVerifier) VerifySig(pk identity.PublicKey, msg, sig []byte) bool {
+	return pk.Verify(msg, sig)
+}
+
 // ValidateAREP runs the paper's two checks on an address objection given
 // the challenge ch the verifier issued:
 //
@@ -47,14 +65,23 @@ var (
 // Passing both proves the responder generated the address per the CGA rule
 // and owns the corresponding private key.
 func ValidateAREP(m *wire.AREP, suite identity.Suite, ch uint64) error {
+	return ValidateAREPVia(nil, m, suite, ch)
+}
+
+// ValidateAREPVia is ValidateAREP with the primitive checks performed
+// through v (nil falls back to direct computation).
+func ValidateAREPVia(v Verifier, m *wire.AREP, suite identity.Suite, ch uint64) error {
+	if v == nil {
+		v = directVerifier{}
+	}
 	pk, err := identity.ParsePublicKey(suite, m.PK)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadKey, err)
 	}
-	if !cga.Verify(m.SIP, m.PK, m.Rn) {
+	if !v.VerifyCGA(m.SIP, m.PK, m.Rn) {
 		return ErrCGABinding
 	}
-	if !pk.Verify(wire.SigAREP(m.SIP, ch), m.Sig) {
+	if !v.VerifySig(pk, wire.SigAREP(m.SIP, ch), m.Sig) {
 		return ErrBadSignature
 	}
 	return nil
@@ -78,10 +105,19 @@ func BuildAREP(owner *identity.Identity, contested ipv6.Addr, ch uint64, rr []ip
 // over (DN, ch) under the DNS server's public key — the one piece of
 // pre-configured trust every host carries.
 func ValidateDREP(m *wire.DREP, dnsPub identity.PublicKey, dn string, ch uint64) error {
+	return ValidateDREPVia(nil, m, dnsPub, dn, ch)
+}
+
+// ValidateDREPVia is ValidateDREP with the signature check performed
+// through v (nil falls back to direct computation).
+func ValidateDREPVia(v Verifier, m *wire.DREP, dnsPub identity.PublicKey, dn string, ch uint64) error {
+	if v == nil {
+		v = directVerifier{}
+	}
 	if m.DN != dn {
 		return ErrWrongAddress
 	}
-	if !dnsPub.Verify(wire.SigDREP(dn, ch), m.Sig) {
+	if !v.VerifySig(dnsPub, wire.SigDREP(dn, ch), m.Sig) {
 		return ErrBadSignature
 	}
 	return nil
@@ -139,6 +175,10 @@ type Initiator struct {
 
 	// SendAREQ floods the request; the node wires it to the radio.
 	SendAREQ func(m *wire.AREQ)
+	// Verify, when non-nil, routes the objection checks through a
+	// (possibly memoized) verifier; the owning node wires its
+	// verification cache here.
+	Verify Verifier
 	// OnConfigured fires when DAD succeeds.
 	OnConfigured func()
 	// OnFailed fires when retries are exhausted.
@@ -226,7 +266,7 @@ func (i *Initiator) HandleAREP(m *wire.AREP) error {
 	if m.SIP != i.ident.Addr {
 		return ErrWrongAddress
 	}
-	if err := ValidateAREP(m, i.ident.Pub.Suite(), i.ch); err != nil {
+	if err := ValidateAREPVia(i.Verify, m, i.ident.Pub.Suite(), i.ch); err != nil {
 		return err
 	}
 	// Authentic duplicate: derive a fresh address, keep the key pair.
@@ -244,7 +284,7 @@ func (i *Initiator) HandleDREP(m *wire.DREP) error {
 	if i.dnsPub == nil || i.ident.Name == "" {
 		return ErrWrongAddress
 	}
-	if err := ValidateDREP(m, i.dnsPub, i.ident.Name, i.ch); err != nil {
+	if err := ValidateDREPVia(i.Verify, m, i.dnsPub, i.ident.Name, i.ch); err != nil {
 		return err
 	}
 	if i.Rename != nil {

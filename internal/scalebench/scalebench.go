@@ -1,9 +1,13 @@
-// Package scalebench holds the radio-layer scale workload shared by the
-// BenchmarkScaleNodes benches and cmd/sbrbench -scale: the broadcast-heavy
-// traffic shape of the protocol at 250-10000 nodes.
+// Package scalebench holds the scale workloads shared by the
+// BenchmarkScale* benches and cmd/sbrbench -scale at 250-10000 nodes:
+//
+//   - the radio-layer flood workload (ScaleNetwork) comparing the naive
+//     linear-scan medium against the spatial grid, and
+//   - the crypto-layer verification workload (CryptoNetwork) comparing
+//     the memoized verification cache against direct recomputation.
 package scalebench
 
-// Scale workload: the radio-layer traffic shape of the broadcast-heavy
+// Radio workload: the radio-layer traffic shape of the broadcast-heavy
 // protocol phases (DAD floods, DSR route discovery) at 250-10000 nodes,
 // used to compare the naive linear-scan medium against the spatial grid.
 // The node count sweeps while density stays constant — the regime the
@@ -11,14 +15,18 @@ package scalebench
 // cost grows linearly with N and the grid's stays flat.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"sbr6/internal/core"
 	"sbr6/internal/geom"
+	"sbr6/internal/identity"
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
 	"sbr6/internal/sim"
+	"sbr6/internal/wire"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -79,16 +87,23 @@ func (sn *ScaleNetwork) Round() {
 }
 
 // ScaleResult is one measured cell of the scale sweep, JSON-shaped for
-// BENCH_scale.json.
+// BENCH_scale.json. Mode is "radio" (naive vs grid medium) or "crypto"
+// (cache vs nocache verification); Index names the variant inside the
+// mode. The verify_* fields are populated for crypto cells only.
 type ScaleResult struct {
+	Mode     string  `json:"mode"`
 	Nodes    int     `json:"nodes"`
 	Index    string  `json:"index"`
 	Rounds   int     `json:"rounds"`
 	WallMS   float64 `json:"wall_ms_per_round"`
-	Events   uint64  `json:"sim_events"`
-	TxFrames uint64  `json:"tx_frames"`
-	RxFrames uint64  `json:"rx_frames"`
-	Degree   float64 `json:"mean_degree"`
+	Events   uint64  `json:"sim_events,omitempty"`
+	TxFrames uint64  `json:"tx_frames,omitempty"`
+	RxFrames uint64  `json:"rx_frames,omitempty"`
+	Degree   float64 `json:"mean_degree,omitempty"`
+
+	VerifyRequests uint64 `json:"verify_requests,omitempty"` // logical signature checks
+	VerifyOps      uint64 `json:"verify_ops,omitempty"`      // primitives actually computed
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
 }
 
 // RunScale measures the workload at n nodes under the given index kind.
@@ -115,6 +130,7 @@ func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() ti
 		name = "auto"
 	}
 	return ScaleResult{
+		Mode:     "radio",
 		Nodes:    n,
 		Index:    name,
 		Rounds:   rounds,
@@ -123,5 +139,148 @@ func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() ti
 		TxFrames: stats.TxFrames,
 		RxFrames: stats.RxFrames,
 		Degree:   float64(stats.RxFrames+stats.LostFrames) / float64(stats.TxFrames),
+	}
+}
+
+// --- crypto workload: verification with and without the memo cache ---
+//
+// Crypto workload: the Section 3.3 verification stream one node processes
+// during formation of an n-node network, replayed against a real
+// core.Node so the exact protocol path (verifySRR, memo cache included)
+// is what gets measured. Each epoch brings a batch of freshly signed
+// route-record chains over a population of n identities — new discovery
+// floods carry new sequence numbers, so their signatures cannot be
+// pre-warmed — and each chain is presented several times, the shape a
+// node sees from duplicate flood copies arriving over different paths,
+// re-served CREP attestations and repeated RERRs once the seen-set can
+// no longer hold every flood id (the 10k regime ROADMAP item 1
+// describes). Without the cache every copy re-runs the full per-hop
+// crypto; with the cache later copies cost one content digest.
+
+// CryptoChainHops is the route-record depth of every workload chain.
+const CryptoChainHops = 6
+
+// CryptoDuplicates is how many times each fresh chain is presented per
+// epoch (1 fresh + duplicates-1 copies). Mean degree in the radio
+// workload is ~12, so 4 is conservative.
+const CryptoDuplicates = 4
+
+// CryptoNetwork is a verifier node plus the pre-built (pre-signed)
+// verification streams, one per round. Building signs outside the timed
+// region so rounds measure verification only.
+type CryptoNetwork struct {
+	Node   *core.Node
+	epochs [][]*wire.RREQ
+	next   int
+}
+
+// BuildCryptoNetwork constructs the workload for `epochs` rounds at
+// n-node scale. cached selects the memoized (default) or direct verifier.
+func BuildCryptoNetwork(n int, cached bool, seed int64, epochs int) *CryptoNetwork {
+	s := sim.New(seed)
+	medium := radio.New(s, radio.DefaultConfig())
+	rng := newRand(seed)
+
+	mustIdent := func(name string) *identity.Identity {
+		id, err := identity.New(identity.SuiteEd25519, rng, name)
+		if err != nil {
+			panic(fmt.Sprintf("scalebench: identity: %v", err))
+		}
+		return id
+	}
+	dns := mustIdent("dns")
+	cfg := core.DefaultConfig()
+	if !cached {
+		cfg.VerifyCache = -1
+	}
+	node := core.New(s, medium, 0, mustIdent(""), dns.Pub, cfg, rng, nil)
+	node.StartConfigured()
+
+	pop := make([]*identity.Identity, n)
+	for i := range pop {
+		pop[i] = mustIdent("")
+	}
+
+	fresh := n / 32
+	if fresh < 8 {
+		fresh = 8
+	}
+	cn := &CryptoNetwork{Node: node}
+	var seq uint32
+	for e := 0; e < epochs; e++ {
+		chains := make([]*wire.RREQ, 0, fresh)
+		for j := 0; j < fresh; j++ {
+			seq++
+			src := pop[rng.Intn(n)]
+			m := &wire.RREQ{
+				SIP: src.Addr, DIP: pop[rng.Intn(n)].Addr, Seq: seq,
+				SrcSig: src.Sign(wire.SigRREQSource(src.Addr, seq)),
+				SPK:    src.Pub.Bytes(), Srn: src.Rn,
+			}
+			for h := 0; h < CryptoChainHops; h++ {
+				hid := pop[rng.Intn(n)]
+				m.SRR = append(m.SRR, wire.HopAttestation{
+					IP:  hid.Addr,
+					Sig: hid.Sign(wire.SigHop(hid.Addr, seq)),
+					PK:  hid.Pub.Bytes(), Rn: hid.Rn,
+				})
+			}
+			chains = append(chains, m)
+		}
+		stream := make([]*wire.RREQ, 0, fresh*CryptoDuplicates)
+		for pass := 0; pass < CryptoDuplicates; pass++ {
+			stream = append(stream, chains...)
+		}
+		cn.epochs = append(cn.epochs, stream)
+	}
+	return cn
+}
+
+// Round verifies one epoch's stream; every chain is honest, so any
+// rejection is a bug (a cached run disagreeing with reality).
+func (cn *CryptoNetwork) Round() {
+	stream := cn.epochs[cn.next%len(cn.epochs)]
+	cn.next++
+	for _, m := range stream {
+		if err := cn.Node.VerifyRouteRecord(m); err != nil {
+			panic(fmt.Sprintf("scalebench: honest chain rejected: %v", err))
+		}
+	}
+}
+
+// RunCryptoScale measures the verification workload at n nodes with the
+// cache enabled or disabled. One warmup epoch runs untimed (mirroring the
+// radio workload's index warmup), then `rounds` epochs are timed.
+func RunCryptoScale(n int, cached bool, seed int64, rounds int, now func() time.Time) ScaleResult {
+	cn := BuildCryptoNetwork(n, cached, seed, rounds+1)
+	cn.Round() // warm: first epoch populates the CGA/identity side of the cache
+	met := cn.Node.Metrics()
+	baseReq := uint64(met.Get("crypto.verify"))
+	baseStats := cn.Node.VerifyCacheStats()
+	start := now()
+	for r := 0; r < rounds; r++ {
+		cn.Round()
+	}
+	wall := now().Sub(start)
+
+	req := uint64(met.Get("crypto.verify")) - baseReq
+	stats := cn.Node.VerifyCacheStats()
+	name := "nocache"
+	ops := req // without the memo every logical check is computed
+	var hits uint64
+	if cached {
+		name = "cache"
+		ops = stats.SigMisses - baseStats.SigMisses
+		hits = stats.Hits() - baseStats.Hits()
+	}
+	return ScaleResult{
+		Mode:           "crypto",
+		Nodes:          n,
+		Index:          name,
+		Rounds:         rounds,
+		WallMS:         float64(wall.Nanoseconds()) / 1e6 / float64(rounds),
+		VerifyRequests: req,
+		VerifyOps:      ops,
+		CacheHits:      hits,
 	}
 }

@@ -269,6 +269,19 @@ func Build(cfg Config) (*Scenario, error) {
 	if cfg.Spacing <= 0 {
 		cfg.Spacing = 200
 	}
+	// Scale the per-node duplicate-flood suppression sets with the
+	// network: during a 10k-node bootstrap more than 4096 flood ids are
+	// in flight, and a FIFO seen-set smaller than the working set forgets
+	// ids while their copies still circulate — every late copy is then
+	// re-processed, re-verified and re-broadcast. Four slots per node
+	// keeps DAD and discovery floods deduplicated at any N; below ~1000
+	// nodes this leaves the historical 4096 unchanged.
+	if cfg.Protocol.FloodCache == 0 {
+		cfg.Protocol.FloodCache = 4 * cfg.N
+		if cfg.Protocol.FloodCache < 4096 {
+			cfg.Protocol.FloodCache = 4096
+		}
+	}
 
 	s := sim.New(cfg.Seed)
 	medium := radio.New(s, cfg.Radio)

@@ -12,6 +12,7 @@ import (
 	"sbr6/internal/identity"
 	"sbr6/internal/radio"
 	"sbr6/internal/scenario"
+	"sbr6/internal/verifycache"
 )
 
 // ErrOption is wrapped by every error NewScenario returns for an invalid
@@ -422,6 +423,28 @@ func WithCredits(on bool) Option {
 func WithRouteCache(on bool) Option {
 	return func(s *Scenario) error {
 		s.cfg.Protocol.UseCache = on
+		return nil
+	}
+}
+
+// DefaultVerifyCacheEntries is the per-node memoized-verification cache
+// bound applied when WithVerifyCache is not used.
+const DefaultVerifyCacheEntries = verifycache.DefaultEntries
+
+// WithVerifyCache bounds the per-node memoized-verification cache: CGA
+// bindings, signature checks and whole route-record chains are cached
+// under content digests so identical checks are never recomputed. The
+// cache is on by default (DefaultVerifyCacheEntries); entries <= 0
+// disables memoization entirely — the configuration the differential
+// suite compares against. Per-seed results are byte-for-byte identical
+// either way; only the number of primitive crypto operations changes.
+func WithVerifyCache(entries int) Option {
+	return func(s *Scenario) error {
+		if entries > 0 {
+			s.cfg.Protocol.VerifyCache = entries
+		} else {
+			s.cfg.Protocol.VerifyCache = -1
+		}
 		return nil
 	}
 }

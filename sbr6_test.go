@@ -227,6 +227,51 @@ func TestRunBatchDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunBatchDeterminismVerifyCache extends the determinism guarantee to
+// the memoized-verification cache: a parallel batch with the per-node
+// cache enabled (the default) must match, seed for seed, a serial batch
+// with memoization disabled. Run under -race in CI, this also proves the
+// per-replicate caches share no state across the worker pool.
+func TestRunBatchDeterminismVerifyCache(t *testing.T) {
+	// Adversaries sit off the 1->8 diagonal so some traffic still lands
+	// (zero deliveries would make the latency stats NaN, which DeepEqual
+	// cannot compare).
+	mk := func(extra ...sbr6.Option) *sbr6.Scenario {
+		return fastSpec(t, append([]sbr6.Option{
+			sbr6.WithAdversaries(sbr6.ForgingBlackHole(2), sbr6.RERRSpammer(6)),
+		}, extra...)...)
+	}
+	seeds := sbr6.SeedRange(1, 4)
+
+	serial := &sbr6.Runner{Workers: 1}
+	off, err := serial.RunBatch(context.Background(), mk(sbr6.WithVerifyCache(0)), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := &sbr6.Runner{Workers: 4}
+	on, err := parallel.RunBatch(context.Background(), mk(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range off.Results {
+		if !reflect.DeepEqual(off.Results[i], on.Results[i]) {
+			t.Fatalf("seed %d: cache-off and cache-on results differ:\noff: %v\non:  %v",
+				off.Seeds[i], off.Results[i], on.Results[i])
+		}
+	}
+	// A tiny explicit bound behaves like the default (just with more
+	// evictions) — still byte-identical.
+	tiny, err := serial.RunBatch(context.Background(), mk(sbr6.WithVerifyCache(32)), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range off.Results {
+		if !reflect.DeepEqual(off.Results[i], tiny.Results[i]) {
+			t.Fatalf("seed %d: 32-entry cache diverged from direct run", off.Seeds[i])
+		}
+	}
+}
+
 func TestRunnerObserverStreams(t *testing.T) {
 	sc := fastSpec(t, sbr6.WithWindows(2*time.Second))
 	var started, finished int
