@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sbr6/internal/attack"
+	"sbr6/internal/boot"
 	"sbr6/internal/cga"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
@@ -383,6 +384,39 @@ func benchmarkVerifyScale(b *testing.B, n int) {
 func BenchmarkScaleVerify1000(b *testing.B)  { benchmarkVerifyScale(b, 1000) }
 func BenchmarkScaleVerify4000(b *testing.B)  { benchmarkVerifyScale(b, 4000) }
 func BenchmarkScaleVerify10000(b *testing.B) { benchmarkVerifyScale(b, 10000) }
+
+// --- scale: wall-clock-to-fully-addressed by bootstrap admission policy ---
+//
+// A complete secure bootstrap through the scenario harness (see
+// scalebench.BuildFormation): serial admission relays each claim through
+// every already-configured node, per-cell admission bootstraps disjoint
+// neighborhoods concurrently. The acceptance bar for the per-cell policy
+// is >= 2x at 10000 nodes; the formation conformance suite in
+// internal/boot holds both policies to identical security outcomes.
+// cmd/sbrbench -scale -json measures the same cells into BENCH_scale.json.
+
+func benchmarkFormation(b *testing.B, n int) {
+	for _, mode := range []struct {
+		name string
+		kind boot.Kind
+	}{{"serial", boot.Serial}, {"percell", boot.PerCell}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // identity generation and placement are not the workload
+				sc := scalebench.BuildFormation(n, mode.kind, 1)
+				b.StartTimer()
+				if configured := sc.Bootstrap(); configured != n {
+					b.Fatalf("formation incomplete: %d/%d addressed", configured, n)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFormation1000(b *testing.B)  { benchmarkFormation(b, 1000) }
+func BenchmarkFormation4000(b *testing.B)  { benchmarkFormation(b, 4000) }
+func BenchmarkFormation10000(b *testing.B) { benchmarkFormation(b, 10000) }
 
 // --- the batch runner itself: parallel fan-out over seed replicates ---
 

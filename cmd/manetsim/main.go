@@ -12,6 +12,7 @@
 //	manetsim -n 16 -reps 8 -blackholes 1            # parallel multi-seed batch
 //	manetsim -n 9 -windows 5s -progress             # stream per-window PDR
 //	manetsim -n 2000 -stagger 5ms -duration 10s     # thousand-node scale run
+//	manetsim -n 2000 -boot percell -duration 10s    # concurrent per-cell formation
 //	manetsim -n 100 -index naive                    # force the O(N) medium
 //	manetsim -n 100 -verifycache 0                  # disable crypto memoization
 package main
@@ -46,6 +47,7 @@ func main() {
 		verifycache = flag.Int("verifycache", sbr6.DefaultVerifyCacheEntries,
 			"per-node memoized-verification cache entries (0 disables; results are identical)")
 		stagger    = flag.Duration("stagger", 0, "delay between DAD starts (0 = safe default; shrink it for 1k+ nodes)")
+		bootPolicy = flag.String("boot", "serial", "bootstrap admission policy: serial or percell (concurrent per-cell formation)")
 		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
 		progress   = flag.Bool("progress", false, "stream per-run and per-window progress to stderr")
 		flows      = flag.Int("flows", 2, "number of CBR flows")
@@ -84,6 +86,15 @@ func main() {
 	}
 	if *stagger > 0 {
 		opts = append(opts, sbr6.WithBootStagger(*stagger))
+	}
+	switch *bootPolicy {
+	case "serial":
+		opts = append(opts, sbr6.WithBootPolicy(sbr6.BootSerial))
+	case "percell":
+		opts = append(opts, sbr6.WithBootPolicy(sbr6.BootPerCell))
+	default:
+		fmt.Fprintf(os.Stderr, "manetsim: -boot %q must be serial or percell\n", *bootPolicy)
+		os.Exit(2)
 	}
 	opts = append(opts, sbr6.WithVerifyCache(*verifycache))
 	if !*secure {

@@ -13,8 +13,11 @@
 //	sbrbench -exp all            # everything, full sweeps
 //	sbrbench -exp S2,E3 -quick   # selected experiments, small sweeps
 //	sbrbench -list               # enumerate experiments
-//	sbrbench -scale -json        # radio-medium scale sweep, JSON output
-//	                             # (this is what seeds BENCH_scale.json)
+//	sbrbench -scale -json        # scale sweeps (radio medium, verify
+//	                             # cache, formation), JSON output — this
+//	                             # is what seeds BENCH_scale.json
+//	sbrbench -trend a.json b.json  # wall-time deltas between two sweeps;
+//	                               # exits 1 beyond -trend-threshold
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"sbr6"
+	"sbr6/internal/boot"
 	"sbr6/internal/experiments"
 	"sbr6/internal/radio"
 	"sbr6/internal/scalebench"
@@ -44,8 +48,14 @@ func main() {
 		scale    = flag.Bool("scale", false, "run the radio-medium scale sweep (naive vs grid) instead of experiments")
 		jsonOut  = flag.Bool("json", false, "with -scale, emit the results as JSON (seeds BENCH_scale.json)")
 		rounds   = flag.Int("rounds", 3, "flood rounds per scale cell")
+		trend    = flag.Bool("trend", false, "compare two scale sweep JSON files: sbrbench -trend old.json new.json")
+		trendTol = flag.Float64("trend-threshold", 0.25, "fractional wall-time growth that -trend flags as a regression")
 	)
 	flag.Parse()
+
+	if *trend {
+		os.Exit(runTrend(flag.Args(), *trendTol))
+	}
 
 	if *scale {
 		if *rounds < 1 {
@@ -84,9 +94,40 @@ func main() {
 	runExperiments(selected, opts, *csv)
 }
 
+// runTrend loads two scale sweep JSON files (older first), renders the
+// per-cell wall-time deltas, and returns 1 when any cell regressed beyond
+// the threshold — the exit code CI keys the regression warning on.
+func runTrend(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "sbrbench: -trend needs exactly two files: old.json new.json")
+		return 2
+	}
+	load := func(path string) []scalebench.ScaleResult {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbrbench: %v\n", err)
+			os.Exit(2)
+		}
+		var rs []scalebench.ScaleResult
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			fmt.Fprintf(os.Stderr, "sbrbench: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return rs
+	}
+	rows := scalebench.Trend(load(args[0]), load(args[1]), threshold)
+	fmt.Println(scalebench.RenderTrend(rows, threshold))
+	if scalebench.Regressed(rows) {
+		fmt.Fprintf(os.Stderr, "sbrbench: scale sweep regressed beyond +%.0f%% (see table)\n", threshold*100)
+		return 1
+	}
+	return 0
+}
+
 // runScaleSweep measures the constant-density flood workload (naive vs
-// grid medium) and the verification workload (direct vs memo cache) at
-// 250-10000 nodes, reporting wall time per round and the speedups.
+// grid medium), the verification workload (direct vs memo cache) and the
+// formation workload (serial vs per-cell admission) at up to 10000 nodes,
+// reporting wall time per round and the speedups.
 func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 	sizes := []int{250, 1000, 4000, 10000}
 	var results []scalebench.ScaleResult
@@ -98,6 +139,20 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 	for _, n := range sizes {
 		for _, cached := range []bool{false, true} {
 			results = append(results, scalebench.RunCryptoScale(n, cached, seed, rounds, time.Now))
+		}
+	}
+	for _, n := range []int{1000, 4000, 10000} {
+		for _, k := range []boot.Kind{boot.Serial, boot.PerCell} {
+			r := scalebench.RunFormation(n, k, seed, time.Now)
+			if r.Configured != r.Nodes {
+				// Never record an incomplete formation as a speedup: a fast
+				// wall clock with unaddressed nodes is a broken policy, and
+				// this sweep seeds the trend baseline.
+				fmt.Fprintf(os.Stderr, "sbrbench: %s formation at %d nodes left %d unaddressed\n",
+					k, n, r.Nodes-r.Configured)
+				os.Exit(1)
+			}
+			results = append(results, r)
 		}
 	}
 	if jsonOut {
@@ -113,6 +168,8 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 		"nodes", "naive", "grid", "speedup", "mean degree")
 	cryptoT := trace.NewTable("verification scale sweep (wall ms per verify round)",
 		"nodes", "nocache", "cache", "speedup", "crypto ops saved")
+	formT := trace.NewTable("formation scale sweep (wall ms to fully addressed)",
+		"nodes", "serial", "percell", "speedup", "virtual time")
 	for i := 0; i < len(results); i += 2 {
 		a, b := results[i], results[i+1]
 		switch a.Mode {
@@ -125,10 +182,16 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
 				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS),
 				fmt.Sprintf("%d/%d", a.VerifyOps-b.VerifyOps, a.VerifyOps))
+		case "formation":
+			formT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
+				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS),
+				fmt.Sprintf("%.0fs -> %.1fs", a.VirtualS, b.VirtualS))
 		}
 	}
 	fmt.Println(radioT.String())
 	fmt.Println(cryptoT.String())
+	fmt.Println(formT.String())
 }
 
 func runExperiments(selected []experiments.Experiment, opts experiments.Options, csv bool) {

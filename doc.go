@@ -51,6 +51,40 @@
 // other); WithBootStagger shortens the serial DAD schedule that otherwise
 // dominates large bootstraps.
 //
+// # Bootstrap admission
+//
+// Network formation is scheduled by an admission policy (internal/boot).
+// The default, BootSerial, starts one DAD claim per stagger — the paper's
+// conservative reading, under which every claimant floods into a fully
+// configured network, at the price of formation time linear in N.
+// BootPerCell instead buckets nodes into grid cells a fraction of the
+// radio range on a side and staggers only claimants that share a bucket:
+// spatially disjoint neighborhoods bootstrap concurrently, and a 10k-node
+// formation closes in a handful of staggers of virtual time (and less
+// than half the serial wall clock — see BenchmarkFormation10000).
+//
+// The equivalence guarantee is deliberately outcome-level, because
+// reordering admissions legitimately reorders the simulation: under every
+// policy all nodes end fully addressed, addresses are unique, and any
+// claim conflicting with an already-admitted owner in the same bucket is
+// detected with identical counters — the bucket diagonal is under half a
+// range, so the earlier owner hears the later claim directly and its
+// objection needs no relays. Each policy is itself byte-for-byte
+// deterministic per seed. The formation conformance suite in
+// internal/boot (cloned-identity duplicate claims, pre-provisioned name
+// conflicts, clean formations, both policies, multiple seeds, -race in
+// CI) enforces all of this; quick.Check properties pin the schedule
+// itself (per-cell offsets are a permutation-stable function of seed,
+// cell and occupancy; same-cell claims never land inside one objection
+// window). What per-cell admission gives up is detection that needs
+// configured relays before they exist: simultaneous cross-cell
+// duplicates (covered for honest nodes by CGA's 2^-64 collision bound,
+// and impossible to schedule away for an attacker) and formation-time
+// name checks from claimants too far from the DNS anchor for an early
+// flood to reach — those conflicts still surface at registration time.
+// WithBootPolicy selects the policy; WithBootStagger tunes the spacing
+// either policy keeps.
+//
 // # Verification cache
 //
 // Every node memoizes its cryptographic checks — CGA bindings, signature

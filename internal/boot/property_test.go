@@ -1,0 +1,156 @@
+package boot
+
+// quick.Check properties of the per-cell admission policy — the two
+// invariants the ISSUE pins down plus the structure they follow from:
+//
+//  1. a cell's offset multiset is a permutation-stable function of
+//     (seed, cell, occupancy): relabeling the nodes changes who gets which
+//     rank, never the schedule shape, and
+//  2. no two same-cell nodes are ever scheduled inside one objection
+//     window, whatever stagger the caller asked for.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sbr6/internal/geom"
+)
+
+// cellKeyOf buckets a position exactly the way the policy does.
+func cellsOf(p Plan) map[int][2]int32 {
+	g := geom.NewGrid(p.Cell * CellFraction)
+	for i, pos := range p.Positions {
+		g.Set(i, pos)
+	}
+	out := make(map[int][2]int32, len(p.Positions))
+	for i := range p.Positions {
+		ix, iy, _ := g.CellOf(i)
+		out[i] = [2]int32{ix, iy}
+	}
+	return out
+}
+
+// offsetsByCell groups a schedule's offsets by cell and sorts each group.
+func offsetsByCell(p Plan, offs []time.Duration) map[[2]int32][]time.Duration {
+	cells := cellsOf(p)
+	out := map[[2]int32][]time.Duration{}
+	for i, o := range offs {
+		out[cells[i]] = append(out[cells[i]], o)
+	}
+	for _, g := range out {
+		sort.Slice(g, func(a, b int) bool { return g[a] < g[b] })
+	}
+	return out
+}
+
+// planFromRaw shapes arbitrary fuzz inputs into a valid plan. Cell sizes,
+// windows and staggers sweep through degenerate values on purpose; only
+// the node count and coordinates are bounded.
+func planFromRaw(seed int64, nRaw, sideRaw uint8, windowMs, staggerMs uint16) Plan {
+	n := 2 + int(nRaw)%120
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	side := 200 + float64(sideRaw)*40 // 200..10400 m: dense to sparse
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return Plan{
+		Seed:      seed,
+		Window:    time.Duration(1+int(windowMs)%3000) * time.Millisecond,
+		Stagger:   time.Duration(int(staggerMs)%4000) * time.Millisecond,
+		Cell:      250,
+		Anchor:    -1,
+		Positions: pts,
+	}
+}
+
+// Property 1: permuting the node labels permutes who gets which rank but
+// leaves every cell's offset multiset unchanged — the schedule is a
+// function of (seed, cell, occupancy), not of node identity.
+func TestPerCellPermutationStable(t *testing.T) {
+	prop := func(seed int64, nRaw, sideRaw uint8, windowMs, staggerMs uint16, permSeed int64) bool {
+		p := planFromRaw(seed, nRaw, sideRaw, windowMs, staggerMs)
+		base := offsetsByCell(p, PerCellPolicy{}.Schedule(p))
+
+		perm := rand.New(rand.NewSource(permSeed)).Perm(len(p.Positions))
+		q := p
+		q.Positions = make([]geom.Point, len(p.Positions))
+		for i, j := range perm {
+			q.Positions[i] = p.Positions[j]
+		}
+		permuted := offsetsByCell(q, PerCellPolicy{}.Schedule(q))
+
+		if len(base) != len(permuted) {
+			return false
+		}
+		for cell, offs := range base {
+			got := permuted[cell]
+			if len(got) != len(offs) {
+				return false
+			}
+			for i := range offs {
+				if offs[i] != got[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property 2: same-cell claimants are never scheduled inside one objection
+// window, even when the requested stagger is far below it.
+func TestPerCellSameCellSeparation(t *testing.T) {
+	prop := func(seed int64, nRaw, sideRaw uint8, windowMs, staggerMs uint16, anchored bool) bool {
+		p := planFromRaw(seed, nRaw, sideRaw, windowMs, staggerMs)
+		if anchored {
+			p.Anchor = 0
+		}
+		offs := PerCellPolicy{}.Schedule(p)
+		for _, group := range offsetsByCell(p, offs) {
+			for i := 1; i < len(group); i++ {
+				if group[i]-group[i-1] < p.Window {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structural corollary: each cell's sorted offsets form an arithmetic
+// progression — phase + rank*sep with sep = max(stagger, window) and the
+// phase inside half a window — so occupancy alone dictates when a cell's
+// last claimant is admitted.
+func TestPerCellOffsetsArithmetic(t *testing.T) {
+	prop := func(seed int64, nRaw, sideRaw uint8, windowMs, staggerMs uint16) bool {
+		p := planFromRaw(seed, nRaw, sideRaw, windowMs, staggerMs)
+		sep := p.Stagger
+		if sep < p.Window {
+			sep = p.Window
+		}
+		for _, group := range offsetsByCell(p, PerCellPolicy{}.Schedule(p)) {
+			if phase := group[0]; phase < 0 || phase > p.Window/2 {
+				return false
+			}
+			for i := 1; i < len(group); i++ {
+				if group[i]-group[i-1] != sep {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -113,6 +113,35 @@ func (g *Grid) At(id int) (Point, bool) {
 	return slot.p, ok
 }
 
+// CellOf returns the cell coordinates id is currently bucketed in. The
+// coordinates identify the cell [ix*cell, (ix+1)*cell) x [iy*cell,
+// (iy+1)*cell); two ids share a cell exactly when their coordinates match.
+func (g *Grid) CellOf(id int) (ix, iy int32, ok bool) {
+	slot, ok := g.where[id]
+	return slot.key.ix, slot.key.iy, ok
+}
+
+// CellOccupancy returns how many ids are bucketed in the given cell.
+func (g *Grid) CellOccupancy(ix, iy int32) int {
+	return len(g.cells[cellKey{ix, iy}])
+}
+
+// VisitCells calls fn once per occupied cell with that cell's member ids in
+// bucket order (insertion order until a Remove's swap-removal perturbs it).
+// Cells are visited in unspecified order — callers needing cross-cell
+// determinism must not depend on it. The ids slice is reused between calls;
+// fn must not retain or mutate it, nor mutate the grid.
+func (g *Grid) VisitCells(fn func(ix, iy int32, ids []int)) {
+	var buf []int
+	for key, bucket := range g.cells {
+		buf = buf[:0]
+		for _, e := range bucket {
+			buf = append(buf, e.id)
+		}
+		fn(key.ix, key.iy, buf)
+	}
+}
+
 // Query appends to out the ids of every stored point within r of p
 // (inclusive of the boundary) and returns the extended slice. Pass a reused
 // buffer with out[:0] to avoid allocations. The order of appended ids is

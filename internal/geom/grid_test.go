@@ -159,3 +159,69 @@ func TestGridQueryReusesBuffer(t *testing.T) {
 		t.Fatalf("Query allocated %v times per run with a sized buffer", allocs)
 	}
 }
+
+// Cell introspection: CellOf, CellOccupancy and VisitCells must agree with
+// each other and with the bucketing Query uses.
+func TestGridCellIntrospection(t *testing.T) {
+	g := NewGrid(100)
+	pts := map[int]Point{
+		1: {X: 10, Y: 10},   // cell (0,0)
+		2: {X: 90, Y: 40},   // cell (0,0)
+		3: {X: 150, Y: 10},  // cell (1,0)
+		4: {X: -10, Y: -10}, // cell (-1,-1): negative coordinates stay exact
+	}
+	for id, p := range pts {
+		g.Set(id, p)
+	}
+
+	if ix, iy, ok := g.CellOf(1); !ok || ix != 0 || iy != 0 {
+		t.Fatalf("CellOf(1) = (%d,%d,%v), want (0,0,true)", ix, iy, ok)
+	}
+	if ix, iy, ok := g.CellOf(4); !ok || ix != -1 || iy != -1 {
+		t.Fatalf("CellOf(4) = (%d,%d,%v), want (-1,-1,true)", ix, iy, ok)
+	}
+	if _, _, ok := g.CellOf(99); ok {
+		t.Fatal("CellOf reported an unknown id as stored")
+	}
+	if got := g.CellOccupancy(0, 0); got != 2 {
+		t.Fatalf("CellOccupancy(0,0) = %d, want 2", got)
+	}
+	if got := g.CellOccupancy(7, 7); got != 0 {
+		t.Fatalf("CellOccupancy of empty cell = %d, want 0", got)
+	}
+
+	seen := map[[2]int32][]int{}
+	total := 0
+	g.VisitCells(func(ix, iy int32, ids []int) {
+		cp := append([]int(nil), ids...) // the callback slice is reused
+		seen[[2]int32{ix, iy}] = cp
+		total += len(cp)
+	})
+	if total != g.Len() {
+		t.Fatalf("VisitCells covered %d ids, grid holds %d", total, g.Len())
+	}
+	if got := seen[[2]int32{0, 0}]; len(got) != 2 {
+		t.Fatalf("VisitCells cell (0,0) members = %v, want two", got)
+	}
+	for cell, ids := range seen {
+		if g.CellOccupancy(cell[0], cell[1]) != len(ids) {
+			t.Fatalf("cell %v: occupancy %d disagrees with members %v",
+				cell, g.CellOccupancy(cell[0], cell[1]), ids)
+		}
+		for _, id := range ids {
+			ix, iy, ok := g.CellOf(id)
+			if !ok || ix != cell[0] || iy != cell[1] {
+				t.Fatalf("member %d of cell %v reports cell (%d,%d)", id, cell, ix, iy)
+			}
+		}
+	}
+
+	// Removal keeps the introspection consistent.
+	g.Remove(1)
+	if got := g.CellOccupancy(0, 0); got != 1 {
+		t.Fatalf("after Remove: occupancy %d, want 1", got)
+	}
+	if _, _, ok := g.CellOf(1); ok {
+		t.Fatal("removed id still reports a cell")
+	}
+}

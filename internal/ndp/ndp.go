@@ -165,6 +165,16 @@ func DefaultConfig() Config {
 	return Config{Timeout: 3 * time.Second, MaxRetries: 8}
 }
 
+// ObjectionWindow returns the effective AREP/DREP wait — Timeout with the
+// default applied, exactly what NewInitiator will arm. Admission policies
+// use it to keep conflicting DAD starts at least one window apart.
+func (c Config) ObjectionWindow() time.Duration {
+	if c.Timeout <= 0 {
+		return DefaultConfig().Timeout
+	}
+	return c.Timeout
+}
+
 // Initiator drives secure DAD for one host.
 type Initiator struct {
 	clock  Clock
@@ -199,9 +209,7 @@ type Initiator struct {
 // NewInitiator builds an initiator for the identity. dnsPub may be nil when
 // the host does not register a name (DREPs are then ignored).
 func NewInitiator(clock Clock, rng *rand.Rand, ident *identity.Identity, dnsPub identity.PublicKey, cfg Config) *Initiator {
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = DefaultConfig().Timeout
-	}
+	cfg.Timeout = cfg.ObjectionWindow() // the one shared default clamp
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = DefaultConfig().MaxRetries
 	}

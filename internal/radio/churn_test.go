@@ -1,0 +1,130 @@
+package radio_test
+
+// Mobility-churn extension of the cross-medium equivalence suite: the
+// original matrix only exercises the grid under light waypoint motion, so
+// the lazy re-bucketing path was proven mostly on near-static topologies.
+// These scenarios keep nodes crossing grid-cell boundaries mid-flood —
+// fast waypoint sweeps, bounded random walks, and the mixed fleet — and
+// hold the spatial grid to the same bar: byte-for-byte identical Results
+// against the naive scan for every seed. A non-vacuity check asserts the
+// nodes really did churn cells during the run; otherwise a future mobility
+// regression could quietly turn this suite static.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/core"
+	"sbr6/internal/geom"
+	"sbr6/internal/radio"
+	"sbr6/internal/scenario"
+)
+
+// churnMatrix: every entry moves nodes at speeds that cross at least one
+// 250 m grid cell inside the measurement window.
+func churnMatrix() map[string]func() scenario.Config {
+	base := func() scenario.Config {
+		cfg := scenario.DefaultConfig()
+		fastTimers(&cfg)
+		cfg.N = 40
+		cfg.Placement = scenario.PlaceUniform
+		cfg.Area.W, cfg.Area.H = 1400, 1400
+		cfg.Duration = 10 * time.Second
+		cfg.Radio.LossRate = 0.03
+		cfg.Flows = []scenario.Flow{
+			{From: 1, To: 30, Interval: 400 * time.Millisecond, Size: 64},
+			{From: 9, To: 21, Interval: 600 * time.Millisecond, Size: 48},
+		}
+		return cfg
+	}
+	return map[string]func() scenario.Config{
+		"churn-waypoint": func() scenario.Config {
+			cfg := base()
+			cfg.Mobility = scenario.MobilitySpec{
+				Waypoint: true, MinSpeed: 10, MaxSpeed: 30,
+			}
+			return cfg
+		},
+		"churn-walk": func() scenario.Config {
+			cfg := base()
+			cfg.Mobility = scenario.MobilitySpec{
+				Walk: true, MaxSpeed: 25, Epoch: 2 * time.Second,
+			}
+			return cfg
+		},
+		"churn-mixed": func() scenario.Config {
+			// Waypoint sweepers and random walkers in one fleet, plus
+			// hostile traffic, so re-bucketing interleaves two leg shapes
+			// while adversarial control packets are in flight.
+			cfg := base()
+			cfg.Mobility = scenario.MobilitySpec{
+				Waypoint: true, Walk: true,
+				MinSpeed: 8, MaxSpeed: 25,
+				Epoch: 3 * time.Second,
+			}
+			cfg.Behaviors = map[int]core.Behavior{
+				5:  &attack.GrayHole{P: 0.5},
+				17: &attack.RERRSpammer{},
+			}
+			return cfg
+		},
+	}
+}
+
+// runChurn runs one config under the given index kind and reports the
+// result plus how many nodes ended the run in a different grid cell than
+// they started it.
+func runChurn(t *testing.T, mk func() scenario.Config, seed int64, kind radio.IndexKind) (*scenario.Result, int) {
+	t.Helper()
+	cfg := mk()
+	cfg.Seed = seed
+	cfg.Radio.Index = kind
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatalf("build (index=%d, seed=%d): %v", kind, seed, err)
+	}
+	start := make([]geom.Point, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		start[i] = sc.Medium.PositionOf(radio.NodeID(i))
+	}
+	res := sc.Run()
+	crossed := 0
+	cell := cfg.Radio.Range
+	key := func(p geom.Point) [2]int32 {
+		return [2]int32{int32(math.Floor(p.X / cell)), int32(math.Floor(p.Y / cell))}
+	}
+	for i := 0; i < cfg.N; i++ {
+		if key(start[i]) != key(sc.Medium.PositionOf(radio.NodeID(i))) {
+			crossed++
+		}
+	}
+	return res, crossed
+}
+
+func TestGridMediumEquivalentUnderChurn(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for name, mk := range churnMatrix() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range seeds {
+				naive, _ := runChurn(t, mk, seed, radio.IndexNaive)
+				grid, crossed := runChurn(t, mk, seed, radio.IndexGrid)
+				if !reflect.DeepEqual(naive, grid) {
+					t.Errorf("seed %d: naive and grid media diverged under churn:\n naive: %v\n  grid: %v",
+						seed, naive, grid)
+				}
+				// The scenario must actually churn cells, or the equivalence
+				// proves nothing new over the static matrix.
+				if min := 40 / 4; crossed < min {
+					t.Errorf("seed %d: only %d/40 nodes changed grid cell (want >= %d); scenario too static",
+						seed, crossed, min)
+				}
+			}
+		})
+	}
+}

@@ -20,11 +20,13 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/identity"
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
+	"sbr6/internal/scenario"
 	"sbr6/internal/sim"
 	"sbr6/internal/wire"
 )
@@ -104,6 +106,12 @@ type ScaleResult struct {
 	VerifyRequests uint64 `json:"verify_requests,omitempty"` // logical signature checks
 	VerifyOps      uint64 `json:"verify_ops,omitempty"`      // primitives actually computed
 	CacheHits      uint64 `json:"cache_hits,omitempty"`
+
+	// Formation cells only: nodes that completed DAD and the virtual span
+	// of the bootstrap phase (serial admission pays N staggers of virtual
+	// time, per-cell pays max-occupancy staggers).
+	Configured int     `json:"configured,omitempty"`
+	VirtualS   float64 `json:"virtual_s,omitempty"`
 }
 
 // RunScale measures the workload at n nodes under the given index kind.
@@ -139,6 +147,66 @@ func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() ti
 		TxFrames: stats.TxFrames,
 		RxFrames: stats.RxFrames,
 		Degree:   float64(stats.RxFrames+stats.LostFrames) / float64(stats.TxFrames),
+	}
+}
+
+// --- formation workload: wall-clock-to-fully-addressed by admission policy ---
+//
+// The whole-protocol companion to the radio and crypto cells: a complete
+// secure bootstrap of an n-node network through the real scenario harness,
+// measured as the wall clock from the first DAD start until every node is
+// addressed. Only configured nodes relay AREQ floods, so the serial policy
+// makes claim k traverse ~k configured relays — the O(N^2) delivery bill
+// that keeps 10k-node formation serialized — while the per-cell policy
+// floods into a mostly-unconfigured network and pays a fraction of it.
+// The flood TTL is clamped so the serial baseline stays affordable to
+// measure; both policies run the identical configuration.
+
+// FormationTTL bounds the DAD flood reach of the formation workload. Five
+// hops covers every claimant's objection neighborhood several times over at
+// the workload's density while keeping the serial baseline measurable at
+// 10k nodes.
+const FormationTTL = 5
+
+// BuildFormation constructs the formation workload: n nodes at the scale
+// sweep's constant density (~12 neighbours each), fast DAD timers, no
+// traffic — the run is the bootstrap itself.
+func BuildFormation(n int, k boot.Kind, seed int64) *scenario.Scenario {
+	cfg := scenario.DefaultConfig()
+	cfg.Seed = seed
+	cfg.N = n
+	side := 125 * math.Sqrt(float64(n))
+	cfg.Area = geom.Rect{W: side, H: side}
+	cfg.Placement = scenario.PlaceUniform
+	cfg.Boot = k
+	cfg.BootStagger = 500 * time.Millisecond
+	cfg.Protocol.DAD.Timeout = 300 * time.Millisecond
+	cfg.Protocol.TTL = FormationTTL
+	cfg.Flows = nil
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("scalebench: formation build: %v", err))
+	}
+	return sc
+}
+
+// RunFormation measures wall-clock-to-fully-addressed for one policy at n
+// nodes. Identity generation and placement happen outside the timed region;
+// the clock covers exactly the bootstrap phase.
+func RunFormation(n int, k boot.Kind, seed int64, now func() time.Time) ScaleResult {
+	sc := BuildFormation(n, k, seed)
+	start := now()
+	configured := sc.Bootstrap()
+	wall := now().Sub(start)
+	return ScaleResult{
+		Mode:       "formation",
+		Nodes:      n,
+		Index:      k.String(),
+		Rounds:     1,
+		WallMS:     float64(wall.Nanoseconds()) / 1e6,
+		Events:     sc.S.Processed(),
+		Configured: configured,
+		VirtualS:   sc.S.Now().Seconds(),
 	}
 }
 

@@ -1,0 +1,131 @@
+package scalebench
+
+// Trend comparison between two scale sweeps (BENCH_scale.json shaped):
+// the ROADMAP's "make regressions visible in the PR, not after" renderer.
+// Cells are aligned by (mode, nodes, index); wall-time growth beyond a
+// threshold flags the cell as a regression. cmd/sbrbench -trend drives
+// this against the committed baseline and the CI sweep artifact.
+
+import (
+	"fmt"
+	"sort"
+
+	"sbr6/internal/trace"
+)
+
+// TrendRow is one aligned cell of two sweeps.
+type TrendRow struct {
+	Mode  string
+	Nodes int
+	Index string
+
+	OldMS float64
+	NewMS float64
+	// Delta is the fractional wall-time change, positive = slower. Only
+	// meaningful when Missing is empty.
+	Delta float64
+	// Regressed marks Delta beyond the comparison threshold.
+	Regressed bool
+	// Missing is "old" or "new" when the cell exists on one side only —
+	// reported, never a regression (sweeps legitimately grow cells).
+	Missing string
+}
+
+// cellID aligns sweeps.
+type cellID struct {
+	mode  string
+	nodes int
+	index string
+}
+
+// Trend aligns two sweeps and computes per-cell wall-time deltas. Rows are
+// ordered mode, then nodes, then index, so renders are stable whatever
+// order the JSON carried.
+func Trend(old, new []ScaleResult, threshold float64) []TrendRow {
+	olds := map[cellID]ScaleResult{}
+	for _, r := range old {
+		olds[cellID{r.Mode, r.Nodes, r.Index}] = r
+	}
+	news := map[cellID]ScaleResult{}
+	for _, r := range new {
+		news[cellID{r.Mode, r.Nodes, r.Index}] = r
+	}
+	ids := make([]cellID, 0, len(olds)+len(news))
+	for id := range olds {
+		ids = append(ids, id)
+	}
+	for id := range news {
+		if _, dup := olds[id]; !dup {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].mode != ids[b].mode {
+			return ids[a].mode < ids[b].mode
+		}
+		if ids[a].nodes != ids[b].nodes {
+			return ids[a].nodes < ids[b].nodes
+		}
+		return ids[a].index < ids[b].index
+	})
+
+	rows := make([]TrendRow, 0, len(ids))
+	for _, id := range ids {
+		row := TrendRow{Mode: id.mode, Nodes: id.nodes, Index: id.index}
+		o, hasOld := olds[id]
+		n, hasNew := news[id]
+		switch {
+		case !hasNew:
+			row.OldMS, row.Missing = o.WallMS, "new"
+		case !hasOld:
+			row.NewMS, row.Missing = n.WallMS, "old"
+		default:
+			row.OldMS, row.NewMS = o.WallMS, n.WallMS
+			if o.WallMS > 0 {
+				row.Delta = (n.WallMS - o.WallMS) / o.WallMS
+			}
+			row.Regressed = row.Delta > threshold
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Regressed reports whether any aligned cell slowed beyond the threshold.
+func Regressed(rows []TrendRow) bool {
+	for _, r := range rows {
+		if r.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderTrend renders the aligned cells as a table, flagging regressions.
+func RenderTrend(rows []TrendRow, threshold float64) string {
+	t := trace.NewTable(
+		fmt.Sprintf("scale sweep trend (wall ms per round; REGRESSED beyond +%.0f%%)", threshold*100),
+		"mode", "nodes", "index", "old", "new", "delta", "")
+	for _, r := range rows {
+		flag := ""
+		delta := "-"
+		oldMS, newMS := "-", "-"
+		switch {
+		case r.Missing == "new":
+			oldMS = fmt.Sprintf("%.1f", r.OldMS)
+			flag = "dropped"
+		case r.Missing == "old":
+			newMS = fmt.Sprintf("%.1f", r.NewMS)
+			flag = "new cell"
+		default:
+			oldMS = fmt.Sprintf("%.1f", r.OldMS)
+			newMS = fmt.Sprintf("%.1f", r.NewMS)
+			delta = fmt.Sprintf("%+.1f%%", r.Delta*100)
+			if r.Regressed {
+				flag = "REGRESSED"
+			}
+		}
+		t.Add(r.Mode, fmt.Sprint(r.Nodes), r.Index, oldMS, newMS, delta, flag)
+	}
+	return t.String()
+}

@@ -1,0 +1,92 @@
+package scalebench
+
+import (
+	"strings"
+	"testing"
+)
+
+// canned fixtures: a two-commit history where the grid cell regressed, the
+// naive cell improved, a crypto cell is within noise, one cell was dropped
+// and one is new.
+func trendFixtures() (old, new []ScaleResult) {
+	old = []ScaleResult{
+		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
+		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 8},
+		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 100},
+		{Mode: "radio", Nodes: 250, Index: "naive", WallMS: 3},
+	}
+	new = []ScaleResult{
+		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 30},  // improved
+		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 12},   // +50%: regressed
+		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 110}, // +10%: noise
+		{Mode: "formation", Nodes: 1000, Index: "percell", WallMS: 200}, // new cell
+	}
+	return old, new
+}
+
+func TestTrendAlignsAndFlags(t *testing.T) {
+	old, new := trendFixtures()
+	rows := Trend(old, new, 0.25)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	byCell := map[string]TrendRow{}
+	for _, r := range rows {
+		byCell[r.Mode+"/"+r.Index] = r
+	}
+
+	if r := byCell["radio/grid"]; !r.Regressed || r.Delta != 0.5 {
+		t.Errorf("grid cell not flagged: %+v", r)
+	}
+	if r := byCell["radio/naive"]; r.Mode == "radio" && r.Nodes == 1000 {
+		// the improved cell must not be flagged
+		for _, row := range rows {
+			if row.Mode == "radio" && row.Nodes == 1000 && row.Index == "naive" && row.Regressed {
+				t.Errorf("improved cell flagged as regression: %+v", row)
+			}
+		}
+	}
+	if r := byCell["crypto/cache"]; r.Regressed {
+		t.Errorf("within-noise cell flagged: %+v", r)
+	}
+	if r := byCell["formation/percell"]; r.Missing != "old" || r.Regressed {
+		t.Errorf("new cell mishandled: %+v", r)
+	}
+	for _, r := range rows {
+		if r.Mode == "radio" && r.Nodes == 250 {
+			if r.Missing != "new" || r.Regressed {
+				t.Errorf("dropped cell mishandled: %+v", r)
+			}
+		}
+	}
+	if !Regressed(rows) {
+		t.Error("Regressed did not notice the grid regression")
+	}
+
+	// A looser threshold clears everything.
+	if Regressed(Trend(old, new, 0.6)) {
+		t.Error("60%% threshold still flags a +50%% cell")
+	}
+}
+
+func TestTrendRowsAreOrdered(t *testing.T) {
+	old, new := trendFixtures()
+	rows := Trend(old, new, 0.25)
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.Mode > b.Mode || (a.Mode == b.Mode && a.Nodes > b.Nodes) ||
+			(a.Mode == b.Mode && a.Nodes == b.Nodes && a.Index > b.Index) {
+			t.Fatalf("rows out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+func TestRenderTrendMarksRegressions(t *testing.T) {
+	old, new := trendFixtures()
+	out := RenderTrend(Trend(old, new, 0.25), 0.25)
+	for _, want := range []string{"REGRESSED", "new cell", "dropped", "+50.0%", "-25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
 	"sbr6/internal/geom"
@@ -35,12 +36,17 @@ const (
 	PlaceLine                     // horizontal chain (scripted topologies)
 )
 
-// MobilitySpec selects the mobility model. Zero value = static.
+// MobilitySpec selects the mobility model. Zero value = static. Setting
+// both Waypoint and Walk mixes the models: even nodes move by random
+// waypoint, odd nodes by bounded random walk — the churn shape the
+// cross-medium equivalence suite uses to drive cell-boundary crossings.
 type MobilitySpec struct {
 	Waypoint bool
+	Walk     bool
 	MinSpeed float64 // m/s
 	MaxSpeed float64
-	Pause    time.Duration
+	Pause    time.Duration // waypoint pause
+	Epoch    time.Duration // walk leg length (default 10 s)
 }
 
 // Flow is a constant-bit-rate traffic source running through the
@@ -74,8 +80,15 @@ type Config struct {
 	// Behaviors maps node index -> adversarial behaviour.
 	Behaviors map[int]core.Behavior
 
-	// BootStagger separates consecutive DAD starts; defaults to the DAD
-	// timeout plus a margin so earlier nodes can relay for later ones.
+	// Boot selects the bootstrap admission policy: boot.Serial (the zero
+	// value, the historical global stagger) or boot.PerCell (spatially
+	// disjoint cells bootstrap concurrently; same-cell claimants stay at
+	// least one objection window apart).
+	Boot boot.Kind
+	// BootStagger separates DAD starts the policy must not overlap —
+	// consecutive nodes under Serial, same-cell claimants under PerCell.
+	// Defaults to the DAD timeout plus a margin so earlier nodes can relay
+	// for later ones.
 	BootStagger time.Duration
 	// Warmup runs after bootstrap before measurement starts.
 	Warmup time.Duration
@@ -120,6 +133,9 @@ var ErrConfig = errors.New("invalid configuration")
 func Validate(cfg Config) error {
 	if cfg.N < 2 {
 		return fmt.Errorf("scenario: need at least 2 nodes, got %d: %w", cfg.N, ErrConfig)
+	}
+	if !cfg.Boot.Valid() {
+		return fmt.Errorf("scenario: unknown boot policy %d: %w", int(cfg.Boot), ErrConfig)
 	}
 	for i, f := range cfg.Flows {
 		switch {
@@ -174,6 +190,7 @@ type Scenario struct {
 	flowStats    map[int]*flowStat
 	windows      []WindowStat
 	measureStart sim.Time
+	bootOffsets  []time.Duration
 }
 
 type flowPacket struct {
@@ -330,17 +347,7 @@ func Build(cfg Config) (*Scenario, error) {
 		if b, hostile := cfg.Behaviors[i]; hostile {
 			n.Behavior = b
 		}
-		var track mobility.Track
-		if cfg.Mobility.Waypoint {
-			track = mobility.NewWaypoint(mobility.WaypointConfig{
-				Region:   cfg.Area,
-				MinSpeed: cfg.Mobility.MinSpeed,
-				MaxSpeed: cfg.Mobility.MaxSpeed,
-				Pause:    cfg.Mobility.Pause,
-			}, positions[i], rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
-		} else {
-			track = mobility.Static(positions[i])
-		}
+		track := buildTrack(cfg, positions[i], i)
 		medium.AddNode(radio.NodeID(i), track.Position, n)
 		// Declare the track's speed bound so the medium's spatial index can
 		// re-bucket lazily; tracks that cannot bound themselves stay
@@ -355,17 +362,70 @@ func Build(cfg Config) (*Scenario, error) {
 	for name, idx := range cfg.Preload {
 		sc.DNSSrv.Preload(name, sc.Nodes[idx].Addr())
 	}
+
+	// The admission schedule is fixed at build time from the formation-start
+	// positions; policies are pure functions of the plan, so they consume no
+	// simulator RNG and never perturb the rest of the seeded run.
+	sc.bootOffsets = boot.New(cfg.Boot).Schedule(boot.Plan{
+		Seed:      cfg.Seed,
+		Window:    cfg.Protocol.DAD.ObjectionWindow(),
+		Stagger:   cfg.BootStagger,
+		Cell:      medium.Config().Range,
+		Anchor:    0, // the DNS server must be up before anyone needs it
+		Positions: positions,
+	})
 	return sc, nil
 }
 
-// Bootstrap staggers DAD across nodes and runs until the last objection
-// window closes. It returns how many nodes configured successfully.
+// buildTrack constructs node i's mobility track per the spec: static,
+// random waypoint, bounded random walk, or (when both models are selected)
+// the even/odd mix the churn suites use. Every moving track draws from a
+// node-dedicated seeded source, so adding walk nodes never shifts another
+// node's trajectory.
+func buildTrack(cfg Config, start geom.Point, i int) mobility.Track {
+	m := cfg.Mobility
+	useWalk := m.Walk && (!m.Waypoint || i%2 == 1)
+	switch {
+	case useWalk:
+		return mobility.NewWalk(mobility.WalkConfig{
+			Region: cfg.Area,
+			Speed:  m.MaxSpeed,
+			Epoch:  m.Epoch,
+		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
+	case m.Waypoint:
+		return mobility.NewWaypoint(mobility.WaypointConfig{
+			Region:   cfg.Area,
+			MinSpeed: m.MinSpeed,
+			MaxSpeed: m.MaxSpeed,
+			Pause:    m.Pause,
+		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
+	default:
+		return mobility.Static(start)
+	}
+}
+
+// BootOffsets returns a copy of the per-node DAD start offsets the
+// admission policy assigned; index i is node i's delay from formation
+// start. The conformance suites use it to place seeded conflicts at known
+// points of the schedule.
+func (sc *Scenario) BootOffsets() []time.Duration {
+	return append([]time.Duration(nil), sc.bootOffsets...)
+}
+
+// Bootstrap starts DAD per the admission policy's schedule and runs until
+// the last objection window closes. It returns how many nodes configured
+// successfully.
 func (sc *Scenario) Bootstrap() int {
 	for i, n := range sc.Nodes {
 		n := n
-		sc.S.After(time.Duration(i)*sc.Cfg.BootStagger, n.Start)
+		sc.S.After(sc.bootOffsets[i], n.Start)
 	}
-	total := time.Duration(sc.Cfg.N)*sc.Cfg.BootStagger + sc.Cfg.Protocol.DAD.Timeout + 2*time.Second
+	// One extra stagger of settle time beyond the last objection window,
+	// matching the historical serial total of N*stagger + timeout + 2s
+	// exactly for every explicitly configured timeout. ObjectionWindow is
+	// what the initiators actually arm, so a zero Timeout (ndp default in
+	// effect) still runs until the last window has closed.
+	total := boot.Horizon(sc.bootOffsets, sc.Cfg.Protocol.DAD.ObjectionWindow(), sc.Cfg.BootStagger+2*time.Second)
 	sc.S.RunFor(total)
 	configured := 0
 	for _, n := range sc.Nodes {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sbr6/internal/attack"
+	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/ipv6"
@@ -50,6 +51,38 @@ func TestBuildValidation(t *testing.T) {
 	cfg.Preload = map[string]int{"x": 99}
 	if _, err := Build(cfg); err == nil {
 		t.Fatal("out-of-range preload accepted")
+	}
+	cfg = fastCfg(true, 4)
+	cfg.Boot = boot.Kind(42)
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("unknown boot policy accepted")
+	}
+}
+
+// TestBootstrapPerCellConfiguresAll mirrors TestBootstrapConfiguresAll
+// under the concurrent admission policy: same fully-addressed, unique
+// outcome, a fraction of the virtual time.
+func TestBootstrapPerCellConfiguresAll(t *testing.T) {
+	cfg := fastCfg(true, 9)
+	cfg.Boot = boot.PerCell
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Bootstrap(); got != 9 {
+		t.Fatalf("configured %d of 9", got)
+	}
+	offs := sc.BootOffsets()
+	if offs[0] != 0 {
+		t.Fatalf("DNS anchor scheduled at %v, want 0", offs[0])
+	}
+	serial, err := Build(fastCfg(true, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Bootstrap()
+	if sc.S.Now() >= serial.S.Now() {
+		t.Fatalf("per-cell formation (%v) not shorter than serial (%v)", sc.S.Now(), serial.S.Now())
 	}
 }
 

@@ -142,6 +142,50 @@ func FuzzRERRRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzAREPRoundTrip is the dedicated target for the address objection —
+// the message whose CGA proof and challenge signature make duplicate
+// claims unforgeable. FuzzDADRoundTrip sweeps the whole DAD family in
+// lockstep; this target lets the corpus evolve AREP-specific shapes
+// (route record vs source route divergence, unparseable key blobs,
+// boundary modifier values) without the shared-input coupling.
+func FuzzAREPRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(3), []byte{0x05}, []byte{0x06}, uint64(7), uint64(9))
+	f.Add(uint64(0), uint8(0), []byte{}, []byte{}, uint64(0), uint64(0))
+	f.Add(^uint64(0), uint8(200), make([]byte, 64), make([]byte, 32), ^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, sip uint64, rrLen uint8, sig, pk []byte, rn, salt uint64) {
+		contested := ipv6.SiteLocal(0, sip)
+		var rr, sr []ipv6.Addr
+		for i := 0; i < int(rrLen)%12; i++ {
+			rr = append(rr, ipv6.SiteLocal(uint16(i), salt+uint64(i)))
+			sr = append(sr, ipv6.SiteLocal(uint16(i)+1, salt^uint64(i)))
+		}
+		roundTrip(t, &Packet{Src: contested, Dst: contested, TTL: 8, SrcRoute: sr,
+			Msg: &AREP{SIP: contested, RR: rr, Sig: clampBlob(sig), PK: clampBlob(pk), Rn: rn}})
+	})
+}
+
+// FuzzDREPRoundTrip is the dedicated target for the DNS server's
+// domain-name objection: its distinguishing fields are the name string
+// (arbitrary UTF-8 from the fuzzer, clamped to the codec's length cap)
+// and the anchor signature blob.
+func FuzzDREPRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "node-a", uint8(2), []byte{0x07}, uint64(5))
+	f.Add(uint64(0), "", uint8(0), []byte{}, uint64(0))
+	f.Add(^uint64(0), "a.very.long.registered.name", uint8(11), make([]byte, 96), ^uint64(0))
+	f.Fuzz(func(t *testing.T, sip uint64, dn string, rrLen uint8, sig []byte, salt uint64) {
+		if len(dn) > 255 {
+			dn = dn[:255]
+		}
+		contested := ipv6.SiteLocal(0, sip)
+		var rr []ipv6.Addr
+		for i := 0; i < int(rrLen)%12; i++ {
+			rr = append(rr, ipv6.SiteLocal(uint16(i), salt+uint64(i)+1))
+		}
+		roundTrip(t, &Packet{Src: contested, Dst: contested, TTL: 8,
+			Msg: &DREP{SIP: contested, RR: rr, DN: dn, Sig: clampBlob(sig)}})
+	})
+}
+
 // FuzzDADRoundTrip covers the secure-DAD message family: the flooded AREQ
 // and the two objection replies (AREP, DREP) that answer it.
 func FuzzDADRoundTrip(f *testing.F) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/identity"
@@ -44,6 +45,26 @@ const (
 	MediumGrid                     // always the spatial hash grid
 )
 
+// BootPolicy selects the bootstrap admission policy: how DAD starts are
+// spread out during network formation. Every policy forms the same network
+// — all nodes addressed, addresses unique, duplicate claims detected with
+// identical counters (the formation conformance suite in internal/boot is
+// the proof) — the choice only trades formation time against how
+// conservatively claims are serialized.
+type BootPolicy int
+
+// Bootstrap admission policies.
+const (
+	// BootSerial starts node i at i times the boot stagger — the
+	// historical global serialization. Formation time is linear in the
+	// node count.
+	BootSerial BootPolicy = iota
+	// BootPerCell staggers only claimants sharing a radio-range grid cell;
+	// disjoint neighborhoods bootstrap concurrently, so formation time
+	// scales with cell occupancy instead of N.
+	BootPerCell
+)
+
 // Suite selects the signature algorithm of the secure protocol.
 type Suite int
 
@@ -64,12 +85,15 @@ func (s Suite) internal() (identity.Suite, error) {
 	}
 }
 
-// Mobility describes random-waypoint motion. The zero value keeps nodes
-// static.
+// Mobility describes node motion. The zero value keeps nodes static; by
+// default motion is random waypoint, with Walk switching to a bounded
+// random walk (direction re-drawn every Epoch at MaxSpeed).
 type Mobility struct {
-	MinSpeed float64 // m/s
+	MinSpeed float64 // m/s (waypoint only)
 	MaxSpeed float64 // m/s
-	Pause    time.Duration
+	Pause    time.Duration // waypoint pause at each destination
+	Walk     bool          // bounded random walk instead of waypoint
+	Epoch    time.Duration // walk leg length (default 10s)
 }
 
 // Radio parameterizes the shared wireless medium.
@@ -268,7 +292,8 @@ func WithSpacing(metres float64) Option {
 	}
 }
 
-// WithMobility puts every node under random-waypoint motion.
+// WithMobility puts every node under motion: random waypoint by default,
+// bounded random walk when Walk is set.
 func WithMobility(m Mobility) Option {
 	return func(s *Scenario) error {
 		if m.MinSpeed < 0 || !finitePos(m.MaxSpeed) || m.MinSpeed > m.MaxSpeed || math.IsNaN(m.MinSpeed) {
@@ -277,8 +302,13 @@ func WithMobility(m Mobility) Option {
 		if m.Pause < 0 {
 			return fmt.Errorf("WithMobility: negative pause %v: %w", m.Pause, ErrOption)
 		}
+		if m.Epoch < 0 {
+			return fmt.Errorf("WithMobility: negative walk epoch %v: %w", m.Epoch, ErrOption)
+		}
 		s.cfg.Mobility = scenario.MobilitySpec{
-			Waypoint: true, MinSpeed: m.MinSpeed, MaxSpeed: m.MaxSpeed, Pause: m.Pause,
+			Waypoint: !m.Walk, Walk: m.Walk,
+			MinSpeed: m.MinSpeed, MaxSpeed: m.MaxSpeed,
+			Pause: m.Pause, Epoch: m.Epoch,
 		}
 		return nil
 	}
@@ -325,16 +355,39 @@ func WithMediumIndex(k MediumIndex) Option {
 	}
 }
 
-// WithBootStagger sets the delay between consecutive DAD starts during
-// bootstrap. The default — the DAD timeout plus a margin — is safest but
-// makes bootstrap time linear in the node count; thousand-node scenarios
-// want a much smaller stagger and tolerate the extra DAD contention.
+// WithBootStagger sets the delay between DAD starts the admission policy
+// must keep apart: consecutive nodes under BootSerial, same-cell claimants
+// under BootPerCell. The default — the DAD timeout plus a margin — is
+// safest but makes the serial policy's bootstrap time linear in the node
+// count; thousand-node serial scenarios want a much smaller stagger and
+// tolerate the extra DAD contention. (BootPerCell never separates
+// conflicting claims by less than the objection window, whatever the
+// stagger.)
 func WithBootStagger(d time.Duration) Option {
 	return func(s *Scenario) error {
 		if d <= 0 {
 			return fmt.Errorf("WithBootStagger(%v): must be positive: %w", d, ErrOption)
 		}
 		s.cfg.BootStagger = d
+		return nil
+	}
+}
+
+// WithBootPolicy selects the bootstrap admission policy. The default,
+// BootSerial, is the historical global stagger; BootPerCell bootstraps
+// spatially disjoint grid cells concurrently and cuts large-network
+// formation time from O(N) to O(max cell occupancy) staggers while keeping
+// same-cell claims at least one objection window apart.
+func WithBootPolicy(p BootPolicy) Option {
+	return func(s *Scenario) error {
+		switch p {
+		case BootSerial:
+			s.cfg.Boot = boot.Serial
+		case BootPerCell:
+			s.cfg.Boot = boot.PerCell
+		default:
+			return fmt.Errorf("WithBootPolicy(%d): unknown policy: %w", p, ErrOption)
+		}
 		return nil
 	}
 }

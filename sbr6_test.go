@@ -272,6 +272,49 @@ func TestRunBatchDeterminismVerifyCache(t *testing.T) {
 	}
 }
 
+// TestRunBatchDeterminismBootPolicy extends the determinism guarantee to
+// the bootstrap admission policy: a parallel per-cell batch must match a
+// serial per-cell batch seed for seed (run under -race in CI, proving the
+// schedule computation shares no state across the worker pool), and the
+// per-cell policy must form the same fully-addressed network the serial
+// one does.
+func TestRunBatchDeterminismBootPolicy(t *testing.T) {
+	mk := func(p sbr6.BootPolicy) *sbr6.Scenario {
+		return fastSpec(t,
+			sbr6.WithBootPolicy(p),
+			sbr6.WithAdversaries(sbr6.BlackHole(4)),
+		)
+	}
+	seeds := sbr6.SeedRange(1, 4)
+
+	serial := &sbr6.Runner{Workers: 1}
+	sb, err := serial.RunBatch(context.Background(), mk(sbr6.BootPerCell), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := &sbr6.Runner{Workers: 4}
+	pb, err := parallel.RunBatch(context.Background(), mk(sbr6.BootPerCell), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sb.Results {
+		if !reflect.DeepEqual(sb.Results[i], pb.Results[i]) {
+			t.Fatalf("seed %d: serial and parallel per-cell results differ", sb.Seeds[i])
+		}
+	}
+	// Outcome equivalence with the serial policy: everyone addressed.
+	old, err := serial.RunBatch(context.Background(), mk(sbr6.BootSerial), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sb.Results {
+		if sb.Results[i].Configured != 9 || old.Results[i].Configured != 9 {
+			t.Fatalf("seed %d: formation incomplete: percell %d/9, serial %d/9",
+				sb.Seeds[i], sb.Results[i].Configured, old.Results[i].Configured)
+		}
+	}
+}
+
 func TestRunnerObserverStreams(t *testing.T) {
 	sc := fastSpec(t, sbr6.WithWindows(2*time.Second))
 	var started, finished int
