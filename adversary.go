@@ -77,6 +77,21 @@ func Impersonate(node, victim int) Adversary {
 		}}
 }
 
+// AddressClone plants the victim's full identity on the attacker's node
+// before formation and claims the victim's CGA address from wherever the
+// attacker sits — the cross-cell duplicate that per-cell bootstrap
+// admission accepts on CGA's collision bound. The attacker objects to
+// nothing and concedes nothing; only the audit sweep (WithAuditSweep)
+// forces the conflict into the open, at which point the honest victim
+// rekeys onto a fresh unique address and the theft lands on the counters.
+func AddressClone(node, victim int) Adversary {
+	return Adversary{node: node, victim: victim, kind: "address clone",
+		build: func() core.Behavior { return &attack.CloneAttacker{} },
+		bind: func(b core.Behavior, sc *scenario.Scenario) {
+			*sc.Nodes[node].Identity() = *sc.Nodes[victim].Identity()
+		}}
+}
+
 // Replay captures control frames and re-broadcasts them after delay,
 // exercising the replay analysis of Section 4.
 func Replay(node int, delay time.Duration) Adversary {

@@ -418,6 +418,43 @@ func BenchmarkFormation1000(b *testing.B)  { benchmarkFormation(b, 1000) }
 func BenchmarkFormation4000(b *testing.B)  { benchmarkFormation(b, 4000) }
 func BenchmarkFormation10000(b *testing.B) { benchmarkFormation(b, 10000) }
 
+// --- scale: one period of the post-formation audit sweep ---
+//
+// Every node floods one signed TTL-bounded re-advertisement per sweep
+// period (see scalebench.BuildAuditNetwork). At constant density each node
+// only processes the advertisements originating within its TTL-hop
+// neighbourhood, so the reported ns/node-sweep must stay flat as N grows —
+// the property that makes a standing audit affordable at any scale. The
+// run is conflict-free, so the steady-state crypto bill is one signature
+// per node per sweep and zero verifications; the benchmark asserts the
+// latter outright.
+
+func benchmarkAuditSweep(b *testing.B, n int) {
+	an := scalebench.BuildAuditNetwork(n, 1)
+	an.Round() // warm: neighbor tables and flood seen-sets
+	if ops := an.VerifyOps(); ops != 0 {
+		b.Fatalf("conflict-free sweep performed %d signature verifications, want 0", ops)
+	}
+	baseAdvs := an.AdvsProcessed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an.Round()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node-sweep")
+	// The scaling law itself: advertisements processed per node per sweep
+	// is bounded by the TTL-hop neighbourhood, not by N.
+	b.ReportMetric(float64(an.AdvsProcessed()-baseAdvs)/float64(b.N)/float64(n), "advs/node-sweep")
+	if ops := an.VerifyOps(); ops != 0 {
+		b.Fatalf("steady-state sweep performed %d signature verifications, want 0", ops)
+	}
+}
+
+func BenchmarkAuditSweep250(b *testing.B)  { benchmarkAuditSweep(b, 250) }
+func BenchmarkAuditSweep1000(b *testing.B) { benchmarkAuditSweep(b, 1000) }
+func BenchmarkAuditSweep4000(b *testing.B) { benchmarkAuditSweep(b, 4000) }
+
 // --- the batch runner itself: parallel fan-out over seed replicates ---
 
 func BenchmarkRunnerBatch(b *testing.B) {

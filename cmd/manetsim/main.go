@@ -13,6 +13,7 @@
 //	manetsim -n 9 -windows 5s -progress             # stream per-window PDR
 //	manetsim -n 2000 -stagger 5ms -duration 10s     # thousand-node scale run
 //	manetsim -n 2000 -boot percell -duration 10s    # concurrent per-cell formation
+//	manetsim -n 100 -boot percell -audit 5s         # post-formation audit sweep
 //	manetsim -n 100 -index naive                    # force the O(N) medium
 //	manetsim -n 100 -verifycache 0                  # disable crypto memoization
 package main
@@ -48,6 +49,7 @@ func main() {
 			"per-node memoized-verification cache entries (0 disables; results are identical)")
 		stagger    = flag.Duration("stagger", 0, "delay between DAD starts (0 = safe default; shrink it for 1k+ nodes)")
 		bootPolicy = flag.String("boot", "serial", "bootstrap admission policy: serial or percell (concurrent per-cell formation)")
+		auditEvery = flag.Duration("audit", 0, "post-formation address audit sweep period (0 = disabled)")
 		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
 		progress   = flag.Bool("progress", false, "stream per-run and per-window progress to stderr")
 		flows      = flag.Int("flows", 2, "number of CBR flows")
@@ -95,6 +97,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "manetsim: -boot %q must be serial or percell\n", *bootPolicy)
 		os.Exit(2)
+	}
+	if *auditEvery < 0 {
+		fmt.Fprintf(os.Stderr, "manetsim: -audit %v must not be negative\n", *auditEvery)
+		os.Exit(2)
+	}
+	if *auditEvery > 0 {
+		opts = append(opts, sbr6.WithAuditSweep(*auditEvery))
 	}
 	opts = append(opts, sbr6.WithVerifyCache(*verifycache))
 	if !*secure {

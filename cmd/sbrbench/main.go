@@ -16,7 +16,9 @@
 //	sbrbench -scale -json        # scale sweeps (radio medium, verify
 //	                             # cache, formation), JSON output — this
 //	                             # is what seeds BENCH_scale.json
-//	sbrbench -trend a.json b.json  # wall-time deltas between two sweeps;
+//	sbrbench -trend a.json b.json  # machine-independent speedup-ratio
+//	                               # deltas (naive/grid, nocache/cache,
+//	                               # serial/percell) between two sweeps;
 //	                               # exits 1 beyond -trend-threshold
 package main
 
@@ -49,7 +51,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "with -scale, emit the results as JSON (seeds BENCH_scale.json)")
 		rounds   = flag.Int("rounds", 3, "flood rounds per scale cell")
 		trend    = flag.Bool("trend", false, "compare two scale sweep JSON files: sbrbench -trend old.json new.json")
-		trendTol = flag.Float64("trend-threshold", 0.25, "fractional wall-time growth that -trend flags as a regression")
+		trendTol = flag.Float64("trend-threshold", 0.15, "fractional speedup-ratio erosion that -trend flags as a regression (ratios cancel hardware, so this can be sharp)")
 	)
 	flag.Parse()
 
@@ -95,8 +97,10 @@ func main() {
 }
 
 // runTrend loads two scale sweep JSON files (older first), renders the
-// per-cell wall-time deltas, and returns 1 when any cell regressed beyond
-// the threshold — the exit code CI keys the regression warning on.
+// per-pair speedup-ratio deltas — ratios within one sweep divide two wall
+// times from the same hardware, so machine speed cancels — and returns 1
+// when any pair's speedup eroded beyond the threshold, the exit code CI
+// keys the regression warning on.
 func runTrend(args []string, threshold float64) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "sbrbench: -trend needs exactly two files: old.json new.json")
@@ -118,7 +122,7 @@ func runTrend(args []string, threshold float64) int {
 	rows := scalebench.Trend(load(args[0]), load(args[1]), threshold)
 	fmt.Println(scalebench.RenderTrend(rows, threshold))
 	if scalebench.Regressed(rows) {
-		fmt.Fprintf(os.Stderr, "sbrbench: scale sweep regressed beyond +%.0f%% (see table)\n", threshold*100)
+		fmt.Fprintf(os.Stderr, "sbrbench: a speedup ratio eroded beyond -%.0f%% (see table)\n", threshold*100)
 		return 1
 	}
 	return 0

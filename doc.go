@@ -83,7 +83,34 @@
 // name checks from claimants too far from the DNS anchor for an early
 // flood to reach — those conflicts still surface at registration time.
 // WithBootPolicy selects the policy; WithBootStagger tunes the spacing
-// either policy keeps.
+// either policy keeps; WithBootCellFraction widens or narrows the
+// admission buckets (capped at 1/sqrt(2) of the range, where the bucket
+// diagonal reaches one radio range and the direct-reach guarantee would
+// break).
+//
+// # Audit sweep
+//
+// One-shot DAD only protects claims whose objection window overlaps a
+// configured owner inside flood reach. Two duplicate-address shapes
+// escape it structurally: simultaneous claims from different admission
+// cells, and partition merges — two clusters forming independently and
+// meeting later, when no objection window is left to protect anyone.
+// WithAuditSweep(period) closes both: every configured node periodically
+// re-floods a signed re-advertisement of its CGA binding (per-node phases
+// from a seed-stable hash, so sweeps neither synchronize nor consume
+// simulator randomness), a node holding a conflicting binding for that
+// address objects with its own signed proof, and both claimants resolve
+// the conflict deterministically — the binding with the lower full CGA
+// digest rekeys and re-runs DAD, and bit-identical bindings (a cloned
+// identity) make both sides rekey, since nothing protocol-visible can
+// tell original from copy. Scenario.PartitionSpec stages a disjoint
+// cluster that merges mid-run, the shape the merge conformance tests
+// drive. Verification rides the memo cache and a conflict-free sweep
+// verifies nothing at all, so the standing cost is one signature per
+// node per period plus TTL-bounded relaying (flat per node with N at
+// constant density — BenchmarkAuditSweep asserts both). The sweep is off
+// by default, and disabling it is a byte-for-byte no-op, enforced by the
+// differential half of the audit conformance suite in internal/audit.
 //
 // # Verification cache
 //
@@ -107,6 +134,8 @@
 //
 //	.                    public facade: options, Runner, Network, Observer
 //	internal/core        the full secure node stack (the paper's contribution)
+//	internal/audit       post-formation address audit sweep
+//	internal/boot        bootstrap admission policies
 //	internal/{sim,geom,mobility,radio}   simulation substrate
 //	internal/{ipv6,cga,identity,wire}    addressing, crypto and wire format
 //	internal/{ndp,dnssrv,dsr,credit}     protocol building blocks

@@ -294,6 +294,68 @@ func (c *IdentityChurner) scheduleChurn(n *core.Node) {
 	})
 }
 
+// CloneAttacker squats a victim's CGA address from a different admission
+// cell. The harness plants the victim's full identity on the attacker's
+// node before formation (modelling the interface-ID collision that per-cell
+// admission accepts on CGA's 2^-64 bound, here manufactured deliberately by
+// an insider that leaked or cloned the victim's key material). From there
+// the attacker is silent and deaf on everything that would resolve the
+// conflict:
+//
+//   - it consumes AREQs probing its own address instead of objecting, so
+//     the victim's DAD completes and the duplicate actually forms;
+//   - it consumes AREP objections addressed to itself, so its own claim
+//     survives formation even when the victim configured first;
+//   - it consumes audit advertisements for its address (it will not
+//     confirm a conflict) and audit objections (it will not concede one).
+//
+// What it cannot suppress is its own honest stack's periodic audit
+// re-advertisement — the sweep makes every claimant speak — so the victim
+// still hears a conflicting binding, raises its objection (ignored) and
+// rekeys onto a fresh unique address: the network returns to address
+// uniqueness with the theft on the record, which is the strongest outcome
+// any protocol can offer against an adversary holding the victim's keys.
+type CloneAttacker struct {
+	// Counters.
+	SilencedAREQs      int // victim DAD probes it refused to object to
+	ObjectionsIgnored  int // AREP objections against its own claim it ate
+	AuditAdvsIgnored   int // audit advertisements for its address it ate
+	AuditObjsSwallowed int // audit objections it refused to act on
+}
+
+// Intercept implements core.Behavior.
+func (c *CloneAttacker) Intercept(n *core.Node, pkt *wire.Packet, raw []byte) bool {
+	switch m := pkt.Msg.(type) {
+	case *wire.AREQ:
+		if n.Configured() && m.SIP == n.Addr() {
+			c.SilencedAREQs++
+			return true
+		}
+	case *wire.AREP:
+		if m.SIP == n.Addr() {
+			c.ObjectionsIgnored++
+			return true
+		}
+	case *wire.AuditAdv:
+		if m.SIP == n.Addr() {
+			c.AuditAdvsIgnored++
+			return true
+		}
+	case *wire.AuditObj:
+		if m.SIP == n.Addr() {
+			// Only objections against ITS claim are swallowed; objections
+			// between third-party claimants it happens to relay pass
+			// through — a censor that ate those would out itself.
+			c.AuditObjsSwallowed++
+			return true
+		}
+	}
+	return false
+}
+
+// DropForward implements core.Behavior.
+func (c *CloneAttacker) DropForward(*core.Node, *wire.Packet) bool { return false }
+
 // FakeDNS impersonates the DNS server: when asked to relay a DNS query it
 // answers itself, mapping every name to the attacker's address. Without
 // the true server's private key the signature cannot be produced, so the
@@ -349,4 +411,5 @@ var (
 	_ core.Behavior = (*RERRSpammer)(nil)
 	_ core.Behavior = (*IdentityChurner)(nil)
 	_ core.Behavior = (*FakeDNS)(nil)
+	_ core.Behavior = (*CloneAttacker)(nil)
 )

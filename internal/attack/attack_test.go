@@ -1,10 +1,13 @@
 package attack_test
 
 import (
+	"math"
 	"testing"
 	"time"
 
 	"sbr6/internal/attack"
+	"sbr6/internal/audit"
+	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/ipv6"
@@ -192,5 +195,88 @@ func TestReplayerReplays(t *testing.T) {
 	}
 	if delivered != 3 {
 		t.Fatalf("replays disturbed delivery: %d of 3", delivered)
+	}
+}
+
+// auditedUniform builds a constant-density uniform network with per-cell
+// admission and the post-formation audit sweep enabled (period 2s).
+func auditedUniform(t *testing.T, n int, enabled bool, behaviors map[int]core.Behavior) *scenario.Scenario {
+	t.Helper()
+	cfg := scenario.DefaultConfig()
+	cfg.N = n
+	side := 125 * math.Sqrt(float64(n))
+	cfg.Area = geom.Rect{W: side, H: side}
+	cfg.Placement = scenario.PlaceUniform
+	cfg.Boot = boot.PerCell
+	cfg.BootStagger = 500 * time.Millisecond
+	cfg.Protocol.DAD.Timeout = 300 * time.Millisecond
+	cfg.DNS.CommitDelay = 300 * time.Millisecond
+	cfg.Flows = nil
+	if enabled {
+		cfg.Protocol.Audit = audit.Config{Period: 2 * time.Second}
+	}
+	cfg.Behaviors = behaviors
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestCloneAttackerAuditRecovery: an attacker holding the victim's cloned
+// identity squats the victim's address from a different admission cell,
+// eats every objection, and still cannot keep the network ambiguous — its
+// own unsuppressable audit advertisement hands the victim the evidence,
+// the victim rekeys onto a fresh unique address, and the theft lands on
+// the counters. Without the sweep the duplicate persists (non-vacuity).
+func TestCloneAttackerAuditRecovery(t *testing.T) {
+	const n, victim, attacker = 60, 1, 40
+	run := func(enabled bool) (*scenario.Scenario, *attack.CloneAttacker) {
+		ca := &attack.CloneAttacker{}
+		sc := auditedUniform(t, n, enabled, map[int]core.Behavior{attacker: ca})
+		*sc.Nodes[attacker].Identity() = *sc.Nodes[victim].Identity()
+		sc.Bootstrap()
+		sc.StartAuditSweeps(8 * time.Second)
+		sc.S.RunFor(8 * time.Second)
+		return sc, ca
+	}
+
+	sc, ca := run(true)
+	stolen := sc.Nodes[attacker].Addr()
+	if got := sc.Nodes[victim].Addr(); got == stolen {
+		t.Fatalf("victim still shares the stolen address %s", got)
+	}
+	if !sc.Nodes[victim].Configured() {
+		t.Fatal("victim did not re-form on its fresh address")
+	}
+	if got := sc.Nodes[victim].Metrics().Get("audit.rekeys"); got != 1 {
+		t.Fatalf("victim rekeyed %v times, want 1", got)
+	}
+	if got := sc.Nodes[victim].Metrics().Get("audit.conflicts"); got < 1 {
+		t.Fatal("the theft never surfaced on the victim's conflict counter")
+	}
+	if ca.AuditAdvsIgnored == 0 && ca.AuditObjsSwallowed == 0 {
+		t.Fatal("the attacker was never even pressed by the sweep")
+	}
+	// The attacker's own claim survives — squatting an abandoned address is
+	// the residual any key-compromise model concedes — but uniqueness is
+	// restored across the network.
+	addrs := map[string]int{}
+	for _, nd := range sc.Nodes {
+		addrs[nd.Addr().String()]++
+	}
+	for addr, count := range addrs {
+		if count > 1 {
+			t.Fatalf("address %s still held by %d nodes", addr, count)
+		}
+	}
+
+	// Baseline: with the sweep off the victim never learns.
+	base, _ := run(false)
+	if base.Nodes[victim].Addr() != base.Nodes[attacker].Addr() {
+		t.Fatal("baseline duplicate did not persist — the recovery claim above would be vacuous")
+	}
+	if got := base.Nodes[victim].Metrics().Get("audit.rekeys"); got != 0 {
+		t.Fatalf("baseline rekeyed %v times with the sweep disabled", got)
 	}
 }

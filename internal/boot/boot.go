@@ -92,6 +92,19 @@ type Plan struct {
 	Anchor int
 	// Positions holds each node's position at formation start.
 	Positions []geom.Point
+	// CellFraction scales Cell down to the admission bucket side for
+	// PerCell; 0 selects DefaultCellFraction. Values above MaxCellFraction
+	// break the direct-reach guarantee and are rejected by the harness's
+	// configuration validation before a Plan is ever assembled.
+	CellFraction float64
+}
+
+// cellFraction returns the effective bucket fraction.
+func (p Plan) cellFraction() float64 {
+	if p.CellFraction <= 0 {
+		return DefaultCellFraction
+	}
+	return p.CellFraction
 }
 
 // sep returns the effective same-cell separation: the requested stagger,
@@ -144,23 +157,31 @@ func (SerialPolicy) Schedule(p Plan) []time.Duration {
 	return out
 }
 
-// CellFraction scales Plan.Cell (the radio range) down to the side of the
-// admission buckets. At 0.25 the bucket diagonal is 0.35 radio ranges, so
-// two claimants sharing a bucket start in direct radio reach of each other
-// with 0.65 ranges of slack for drift between scheduling and claiming —
-// the same-bucket objection then needs no relays. (Formations mobile
-// enough to out-run that slack within an objection window fall back on
-// relayed detection, like every out-of-range pair.) The fraction also
-// sets the concurrency: at the reference density
-// of ~12 neighbours per range disk, mean bucket occupancy is ~0.25, some
-// eight of nine nodes sit alone in their bucket, and the whole network is
-// admitted in a handful of waves. Larger fractions widen the protected
-// radius but push more nodes into later waves, converging back to the
-// serial policy's cost.
-const CellFraction = 0.25
+// DefaultCellFraction scales Plan.Cell (the radio range) down to the side
+// of the admission buckets when the plan does not choose a fraction. At
+// 0.25 the bucket diagonal is 0.35 radio ranges, so two claimants sharing
+// a bucket start in direct radio reach of each other with 0.65 ranges of
+// slack for drift between scheduling and claiming — the same-bucket
+// objection then needs no relays. (Formations mobile enough to out-run
+// that slack within an objection window fall back on relayed detection,
+// like every out-of-range pair.) The fraction also sets the concurrency:
+// at the reference density of ~12 neighbours per range disk, mean bucket
+// occupancy is ~0.25, some eight of nine nodes sit alone in their bucket,
+// and the whole network is admitted in a handful of waves. Larger
+// fractions widen the protected radius but push more nodes into later
+// waves, converging back to the serial policy's cost; sparse networks
+// widen it essentially for free (Plan.CellFraction, the facade's
+// WithBootCellFraction).
+const DefaultCellFraction = 0.25
+
+// MaxCellFraction is the largest admissible bucket fraction: at 1/sqrt(2)
+// the bucket diagonal equals exactly one radio range, the limit past which
+// two same-bucket claimants are no longer guaranteed direct radio reach —
+// the invariant the per-cell policy's detection argument rests on.
+const MaxCellFraction = 0.7071
 
 // PerCellPolicy schedules concurrent per-cell bootstrap: nodes are bucketed
-// into grid cells of side CellFraction*Plan.Cell, each cell's claimants are
+// into grid cells of side Plan.CellFraction*Plan.Cell (DefaultCellFraction unless the plan chooses), each cell's claimants are
 // ranked by a seed-stable hash, and a node's offset is
 //
 //	phase(seed, cell) + rank * sep
@@ -201,7 +222,7 @@ func (PerCellPolicy) Schedule(p Plan) []time.Duration {
 	}
 	sep := p.sep()
 	spread := p.Window / 2 // cell phases stay well inside one window
-	g := geom.NewGrid(p.Cell * CellFraction)
+	g := geom.NewGrid(p.Cell * p.cellFraction())
 	for i, pos := range p.Positions {
 		g.Set(i, pos)
 	}
@@ -211,14 +232,14 @@ func (PerCellPolicy) Schedule(p Plan) []time.Duration {
 	// order cannot leak into the offsets.
 	var members []ranked
 	g.VisitCells(func(ix, iy int32, ids []int) {
-		cellHash := mix(uint64(p.Seed), uint64(uint32(ix)), uint64(uint32(iy)))
+		cellHash := Mix(uint64(p.Seed), uint64(uint32(ix)), uint64(uint32(iy)))
 		var phase time.Duration
 		if spread > 0 {
-			phase = time.Duration(mix(cellHash, 0xce11f0ad) % uint64(spread))
+			phase = time.Duration(Mix(cellHash, 0xce11f0ad) % uint64(spread))
 		}
 		members = members[:0]
 		for _, id := range ids {
-			members = append(members, ranked{id: id, h: mix(cellHash, uint64(id))})
+			members = append(members, ranked{id: id, h: Mix(cellHash, uint64(id))})
 		}
 		sortRanked(members, p.Anchor)
 		for r, m := range members {
@@ -258,10 +279,12 @@ func sortRanked(ms []ranked, anchor int) {
 	}
 }
 
-// mix folds the values into one well-scrambled word (splitmix64 finalizer
+// Mix folds the values into one well-scrambled word (splitmix64 finalizer
 // per input). It is the only source of per-cell randomness: no math/rand
 // stream is consumed, so policies never perturb the seeded simulation.
-func mix(vals ...uint64) uint64 {
+// Exported because the audit sweep's phase stagger (internal/audit) is
+// documented to use exactly this construction.
+func Mix(vals ...uint64) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, v := range vals {
 		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)

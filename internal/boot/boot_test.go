@@ -73,7 +73,7 @@ func TestPerCellAnchorStartsFirst(t *testing.T) {
 			t.Fatalf("trial %d: anchor offset = %v, want 0", trial, got[0])
 		}
 		// The anchor's cellmates must still clear the objection window.
-		g := geom.NewGrid(p.Cell * CellFraction)
+		g := geom.NewGrid(p.Cell * DefaultCellFraction)
 		for i, pos := range p.Positions {
 			g.Set(i, pos)
 		}

@@ -100,7 +100,7 @@ func formationMatrix() map[string]formationCase {
 // second, the first is configured, hears the AREQ itself, and objects.
 func seedDuplicatePairs(t *testing.T, sc *scenario.Scenario, pairs int) int {
 	t.Helper()
-	g := geom.NewGrid(sc.Cfg.Radio.Range * boot.CellFraction)
+	g := geom.NewGrid(sc.Cfg.Radio.Range * boot.DefaultCellFraction)
 	for i := 0; i < sc.Cfg.N; i++ {
 		g.Set(i, sc.Medium.PositionOf(radio.NodeID(i)))
 	}

@@ -21,7 +21,7 @@ import (
 
 // cellKeyOf buckets a position exactly the way the policy does.
 func cellsOf(p Plan) map[int][2]int32 {
-	g := geom.NewGrid(p.Cell * CellFraction)
+	g := geom.NewGrid(p.Cell * DefaultCellFraction)
 	for i, pos := range p.Positions {
 		g.Set(i, pos)
 	}

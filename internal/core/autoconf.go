@@ -57,13 +57,11 @@ func (n *Node) handleAREQ(pkt *wire.Packet, m *wire.AREQ) {
 	}
 
 	// Relay the flood with this node appended to the route record.
-	// Unconfigured nodes cannot appear in a route record and stay silent.
-	if !n.configured || pkt.TTL <= 1 || len(m.RR) >= 250 {
-		return
-	}
-	fwd := *m
-	fwd.RR = append(append([]ipv6.Addr(nil), m.RR...), n.ident.Addr)
-	n.broadcastPacket(&wire.Packet{Src: pkt.Src, Dst: ipv6.AllNodes, TTL: pkt.TTL - 1, Msg: &fwd})
+	n.relayFlood(pkt, m.RR, func(rr []ipv6.Addr) wire.Message {
+		fwd := *m
+		fwd.RR = rr
+		return &fwd
+	})
 }
 
 // sendToUnconfigured source-routes a reply along the reverse of the AREQ's

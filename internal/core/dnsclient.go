@@ -89,15 +89,28 @@ func (n *Node) handleDNSAnswer(pkt *wire.Packet, m *wire.DNSAnswer) {
 // same key, prove ownership of both addresses, and wait for the server's
 // signed verdict. cb receives the outcome.
 func (n *Node) RebindAddress(cb func(ok bool)) {
+	n.startRebind(&rebindState{cb: cb})
+}
+
+// rebindNameFrom re-binds the node's registered name to its CURRENT
+// (already DAD-verified) address, proving ownership of the abandoned old
+// binding — the audit rekey's follow-up, where the address change happened
+// before the update protocol could run.
+func (n *Node) rebindNameFrom(oldIP ipv6.Addr, oldRn uint64) {
+	n.startRebind(&rebindState{pre: true, oldIP: oldIP, oldRn: oldRn, cb: func(bool) {}})
+}
+
+// startRebind drives the challenge-based update flow for st.
+func (n *Node) startRebind(st *rebindState) {
 	if n.ident.Name == "" || n.rebind != nil {
-		cb(false)
+		st.cb(false)
 		return
 	}
-	n.rebind = &rebindState{cb: cb}
-	n.rebind.timer = n.sim.After(2*n.cfg.ResolveTimeout, func() {
+	n.rebind = st
+	st.timer = n.sim.After(2*n.cfg.ResolveTimeout, func() {
 		n.rebind = nil
 		n.met.Add1("dns.rebind_timeout")
-		cb(false)
+		st.cb(false)
 	})
 	n.met.Add1("dns.rebind_started")
 	n.needRoute(ipv6.DNS1, func(route dsr.Route, ok bool) {
@@ -122,7 +135,7 @@ func (n *Node) handleUpdateReq(pkt *wire.Packet, m *wire.UpdateReq) {
 
 func (n *Node) handleUpdateChal(pkt *wire.Packet, m *wire.UpdateChal) {
 	st := n.rebind
-	if st == nil || m.Name != n.ident.Name || st.oldIP != (ipv6.Addr{}) {
+	if st == nil || m.Name != n.ident.Name || st.chTaken {
 		return // no rebind in progress, or challenge already consumed
 	}
 	if !n.verify(n.dnsPub, wire.SigUpdateChal(m.Name, m.Ch), m.Sig) {
@@ -130,11 +143,16 @@ func (n *Node) handleUpdateChal(pkt *wire.Packet, m *wire.UpdateChal) {
 		return
 	}
 	st.ch = m.Ch
-	// Switch to the new address now: record the old binding for the proof.
-	st.oldIP, st.oldRn = n.ident.Addr, n.ident.Rn
-	n.ident.Regenerate(n.rng)
-	n.routes.SetOwner(n.ident.Addr)
-	n.met.Add1("addr.regenerated")
+	st.chTaken = true
+	if !st.pre {
+		// Switch to the new address now: record the old binding for the
+		// proof. (A pre-rekeyed rebind already switched — its fresh address
+		// survived a full DAD round — and carries the old binding with it.)
+		st.oldIP, st.oldRn = n.ident.Addr, n.ident.Rn
+		n.ident.Regenerate(n.rng)
+		n.routes.SetOwner(n.ident.Addr)
+		n.met.Add1("addr.regenerated")
+	}
 
 	upd := dnssrv.BuildUpdate(n.ident, n.ident.Name, st.oldIP, st.oldRn, m.Ch)
 	n.met.Add1("crypto.sign")

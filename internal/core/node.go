@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sbr6/internal/audit"
 	"sbr6/internal/credit"
 	"sbr6/internal/dnssrv"
 	"sbr6/internal/dsr"
@@ -60,6 +61,12 @@ type Config struct {
 	// network so 10k-node DAD floods are deduplicated instead of being
 	// re-processed when the seen-set thrashes.
 	FloodCache int
+
+	// Audit configures the post-formation address audit sweep
+	// (internal/audit): periodic signed re-advertisement of the CGA
+	// binding with deterministic conflict resolution. The zero value
+	// disables it — no events, no randomness, byte-identical runs.
+	Audit audit.Config
 
 	Suite  identity.Suite
 	DAD    ndp.Config
@@ -146,6 +153,17 @@ type Node struct {
 	areqSeen  *ndp.FloodCache
 	rreqSeen  *ndp.FloodCache
 	dnsFloods *ndp.FloodCache // content-hash dedup for flood-routed DNS control
+	auditSeen *ndp.FloodCache // audit re-advertisement flood dedup
+
+	// Audit sweep state: the current sweep round and the challenge the
+	// in-flight advertisement carries (0 = none outstanding).
+	auditSeq uint32
+	auditCh  uint64
+	// auditRebind, when non-nil, carries a registered name (and the proof
+	// material of the abandoned binding) across an audit rekey's DAD
+	// re-run: the name is restored and re-bound through the signed update
+	// protocol once the fresh address survives its objection window.
+	auditRebind *pendingRebind
 
 	// vcache memoizes CGA-binding and signature checks (nil = disabled;
 	// every verify helper is nil-safe and computes directly).
@@ -221,8 +239,21 @@ type rebindState struct {
 	oldIP ipv6.Addr
 	oldRn uint64
 	ch    uint64
-	timer *sim.Timer
-	cb    func(ok bool)
+	// pre marks a rebind whose address change already happened (the audit
+	// rekey path): the old binding above was recorded up front and the
+	// challenge step must NOT regenerate again.
+	pre     bool
+	chTaken bool
+	timer   *sim.Timer
+	cb      func(ok bool)
+}
+
+// pendingRebind is a name registration waiting out an audit rekey's DAD
+// re-run, plus the abandoned binding the update proof needs.
+type pendingRebind struct {
+	name  string
+	oldIP ipv6.Addr
+	oldRn uint64
 }
 
 // New creates a node. The caller attaches it to the medium (the scenario
@@ -250,6 +281,7 @@ func New(s *sim.Simulator, medium *radio.Medium, link radio.NodeID, ident *ident
 		areqSeen:    ndp.NewFloodCache(floodCap),
 		rreqSeen:    ndp.NewFloodCache(floodCap),
 		dnsFloods:   ndp.NewFloodCache(floodCap),
+		auditSeen:   ndp.NewFloodCache(floodCap),
 		routes:      dsr.NewCache(ident.Addr, sim.Duration(cfg.RouteTTL), 3),
 		credits:     credit.New(cfg.Credit),
 		pending:     make(map[ipv6.Addr]*discovery),
@@ -342,6 +374,14 @@ func (n *Node) dadDone() {
 	n.configured = true
 	n.routes.SetOwner(n.ident.Addr)
 	n.met.Observe("dad.latency_s", n.autoconf.Duration.Seconds())
+	if r := n.auditRebind; r != nil {
+		// The audit rekey parked this registration: the fresh address
+		// stands, so restore the name and move its DNS binding over through
+		// the signed update protocol, proving ownership of both CGAs.
+		n.auditRebind = nil
+		n.ident.Name = r.name
+		n.rebindNameFrom(r.oldIP, r.oldRn)
+	}
 	if n.OnConfigured != nil {
 		n.OnConfigured()
 	}
@@ -417,6 +457,8 @@ func (n *Node) dispatch(pkt *wire.Packet, raw []byte) {
 		n.handleAREQ(pkt, m)
 	case *wire.RREQ:
 		n.handleRREQ(pkt, m)
+	case *wire.AuditAdv:
+		n.handleAuditAdv(pkt, m)
 	default:
 		n.handleSourceRouted(pkt)
 	}
@@ -429,6 +471,11 @@ func (n *Node) dispatch(pkt *wire.Packet, raw []byte) {
 func transmitterIP(pkt *wire.Packet) (ipv6.Addr, bool) {
 	switch m := pkt.Msg.(type) {
 	case *wire.AREQ:
+		if len(m.RR) > 0 {
+			return m.RR[len(m.RR)-1], true
+		}
+		return pkt.Src, true
+	case *wire.AuditAdv:
 		if len(m.RR) > 0 {
 			return m.RR[len(m.RR)-1], true
 		}
@@ -469,6 +516,8 @@ func (n *Node) consume(pkt *wire.Packet) {
 		n.handleAREP(pkt, m)
 	case *wire.DREP:
 		n.handleDREP(pkt, m)
+	case *wire.AuditObj:
+		n.handleAuditObj(pkt, m)
 	case *wire.RREP:
 		n.handleRREP(pkt, m)
 	case *wire.CREP:
@@ -538,9 +587,12 @@ func (n *Node) SendAlong(relays []ipv6.Addr, dst ipv6.Addr, msg wire.Message) {
 // lastHopBroadcast reports whether the final hop toward dst must be
 // broadcast because the destination may not hold a usable address yet
 // (the paper's footnote on AREP delivery; DREPs share the constraint).
+// Audit objections share it for a different reason: the destination address
+// is by definition held by two nodes, so a neighbour-table unicast could
+// deliver the objection to the objector's own side of the conflict.
 func lastHopBroadcast(msg wire.Message) bool {
 	switch msg.(type) {
-	case *wire.AREP, *wire.DREP:
+	case *wire.AREP, *wire.DREP, *wire.AuditObj:
 		return true
 	default:
 		return false
@@ -576,6 +628,23 @@ func (n *Node) sendSourceRouted(pkt *wire.Packet, onFail func(next ipv6.Addr)) {
 			onFail(next)
 		}
 	})
+}
+
+// maxFloodRecord caps hop-accumulated route records with headroom under
+// the codec's 255-hop route limit.
+const maxFloodRecord = 250
+
+// relayFlood rebroadcasts a flooded request with this node appended to its
+// route record — the shared relay step of AREQ and audit-advertisement
+// floods. rr is the incoming record; rebuild wraps the extended record
+// back into the concrete message. Unconfigured nodes cannot appear in a
+// route record and stay silent.
+func (n *Node) relayFlood(pkt *wire.Packet, rr []ipv6.Addr, rebuild func(rr []ipv6.Addr) wire.Message) {
+	if !n.configured || pkt.TTL <= 1 || len(rr) >= maxFloodRecord {
+		return
+	}
+	ext := append(append([]ipv6.Addr(nil), rr...), n.ident.Addr)
+	n.broadcastPacket(&wire.Packet{Src: pkt.Src, Dst: ipv6.AllNodes, TTL: pkt.TTL - 1, Msg: rebuild(ext)})
 }
 
 // reverse returns a reversed copy of a route record.

@@ -148,6 +148,49 @@ func NewWalk(cfg WalkConfig, start geom.Point, rng *rand.Rand) Track {
 	return &mover{legs: []leg{seed}, next: next, bound: cfg.Speed}
 }
 
+// Glide is the scripted merge track of the partition scenarios: static at
+// From until Start, then straight-line motion to To at Speed, then static
+// at To forever. It is fully deterministic — no random source — so joining
+// two independently formed clusters never perturbs a seeded run.
+type Glide struct {
+	From, To geom.Point
+	Start    sim.Time
+	Speed    float64 // metres/second, > 0
+}
+
+// NewGlide builds the track; a non-positive speed is clamped to 1 m/s.
+func NewGlide(from, to geom.Point, start sim.Time, speed float64) *Glide {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Glide{From: from, To: to, Start: start, Speed: speed}
+}
+
+// Position implements Track.
+func (g *Glide) Position(t sim.Time) geom.Point {
+	if t <= g.Start {
+		return g.From
+	}
+	dist := g.From.Dist(g.To)
+	if dist == 0 {
+		return g.To
+	}
+	travelled := g.Speed * t.Sub(g.Start).Seconds()
+	if travelled >= dist {
+		return g.To
+	}
+	return g.From.Lerp(g.To, travelled/dist)
+}
+
+// SpeedBound implements Bounded.
+func (g *Glide) SpeedBound() float64 { return g.Speed }
+
+// Arrival returns the instant the track reaches To.
+func (g *Glide) Arrival() sim.Time {
+	dist := g.From.Dist(g.To)
+	return g.Start.Add(sim.Duration(dist / g.Speed * float64(time.Second)))
+}
+
 // UniformPlacement returns n independent uniform positions inside region.
 func UniformPlacement(region geom.Rect, n int, rng *rand.Rand) []geom.Point {
 	pts := make([]geom.Point, n)

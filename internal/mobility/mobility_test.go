@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -207,5 +208,43 @@ func BenchmarkWaypointPosition(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Position(sim.Time(i%100000) * sim.Time(10*time.Millisecond))
+	}
+}
+
+func TestGlideTrack(t *testing.T) {
+	from := geom.Point{X: 0, Y: 0}
+	to := geom.Point{X: 300, Y: 400} // 500 m apart
+	start := sim.Time(0).Add(2 * time.Second)
+	g := NewGlide(from, to, start, 100) // 5 s of travel
+
+	if got := g.Position(0); got != from {
+		t.Fatalf("before start: %v", got)
+	}
+	if got := g.Position(start); got != from {
+		t.Fatalf("at start: %v", got)
+	}
+	mid := g.Position(start.Add(2500 * time.Millisecond))
+	if math.Abs(mid.X-150) > 1e-9 || math.Abs(mid.Y-200) > 1e-9 {
+		t.Fatalf("midpoint: %v", mid)
+	}
+	if got := g.Position(start.Add(time.Hour)); got != to {
+		t.Fatalf("after arrival: %v", got)
+	}
+	if want := start.Add(5 * time.Second); g.Arrival() != want {
+		t.Fatalf("arrival %v, want %v", g.Arrival(), want)
+	}
+	if g.SpeedBound() != 100 {
+		t.Fatalf("speed bound %v", g.SpeedBound())
+	}
+	// Determinism out of order: querying late then early agrees with the
+	// forward pass (the medium's lazy re-bucketing does exactly this).
+	g2 := NewGlide(from, to, start, 100)
+	_ = g2.Position(start.Add(time.Minute))
+	if got := g2.Position(start.Add(2500 * time.Millisecond)); got != mid {
+		t.Fatalf("out-of-order query diverged: %v vs %v", got, mid)
+	}
+	// Degenerate zero-length glide holds position.
+	if got := NewGlide(from, from, start, 50).Position(start.Add(time.Second)); got != from {
+		t.Fatalf("zero-length glide moved: %v", got)
 	}
 }

@@ -46,13 +46,17 @@ type Verifier interface {
 	VerifySig(pk identity.PublicKey, msg, sig []byte) bool
 }
 
-// directVerifier computes both checks without memoization.
-type directVerifier struct{}
+// DirectVerifier computes both checks without memoization — the fallback
+// behind every nil Verifier, shared with the audit sweep's validators.
+type DirectVerifier struct{}
 
-func (directVerifier) VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool {
+// VerifyCGA implements Verifier.
+func (DirectVerifier) VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool {
 	return cga.Verify(addr, pk, rn)
 }
-func (directVerifier) VerifySig(pk identity.PublicKey, msg, sig []byte) bool {
+
+// VerifySig implements Verifier.
+func (DirectVerifier) VerifySig(pk identity.PublicKey, msg, sig []byte) bool {
 	return pk.Verify(msg, sig)
 }
 
@@ -72,7 +76,7 @@ func ValidateAREP(m *wire.AREP, suite identity.Suite, ch uint64) error {
 // through v (nil falls back to direct computation).
 func ValidateAREPVia(v Verifier, m *wire.AREP, suite identity.Suite, ch uint64) error {
 	if v == nil {
-		v = directVerifier{}
+		v = DirectVerifier{}
 	}
 	pk, err := identity.ParsePublicKey(suite, m.PK)
 	if err != nil {
@@ -112,7 +116,7 @@ func ValidateDREP(m *wire.DREP, dnsPub identity.PublicKey, dn string, ch uint64)
 // through v (nil falls back to direct computation).
 func ValidateDREPVia(v Verifier, m *wire.DREP, dnsPub identity.PublicKey, dn string, ch uint64) error {
 	if v == nil {
-		v = directVerifier{}
+		v = DirectVerifier{}
 	}
 	if m.DN != dn {
 		return ErrWrongAddress
@@ -223,13 +227,17 @@ func (i *Initiator) State() State { return i.state }
 // warn path need it).
 func (i *Initiator) Challenge() uint64 { return i.ch }
 
-// Start begins (or restarts) duplicate address detection.
+// Start begins (or restarts) duplicate address detection. Starting over
+// from StateConfigured — the audit sweep's rekey path, after the identity
+// drew a fresh modifier — opens a new DAD cycle: the latency clock and the
+// retry budget reset as if the host had just joined.
 func (i *Initiator) Start() {
 	if i.SendAREQ == nil {
 		panic("ndp: Initiator.SendAREQ not wired")
 	}
-	if i.state == StateIdle {
+	if i.state == StateIdle || i.state == StateConfigured {
 		i.started = i.clock.Now()
+		i.retries = 0
 	}
 	i.state = StateProbing
 	i.seq++

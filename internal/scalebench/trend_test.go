@@ -5,67 +5,106 @@ import (
 	"testing"
 )
 
-// canned fixtures: a two-commit history where the grid cell regressed, the
-// naive cell improved, a crypto cell is within noise, one cell was dropped
-// and one is new.
+// Canned fixtures: a two-commit history measured on wildly different
+// hardware (the "new" machine is uniformly ~4x slower), where the grid
+// speedup genuinely eroded at 1000 nodes, the crypto speedup held, a
+// formation pair is new, and a 250-node radio pair was dropped. An
+// absolute-wall comparison would flag every cell on machine speed alone;
+// the ratio trend must see through it.
 func trendFixtures() (old, new []ScaleResult) {
 	old = []ScaleResult{
 		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
-		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 8},
-		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 100},
+		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 8}, // 5.0x
+		{Mode: "crypto", Nodes: 1000, Index: "nocache", WallMS: 100},
+		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 25}, // 4.0x
 		{Mode: "radio", Nodes: 250, Index: "naive", WallMS: 3},
+		{Mode: "radio", Nodes: 250, Index: "grid", WallMS: 1}, // dropped below
 	}
 	new = []ScaleResult{
-		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 30},  // improved
-		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 12},   // +50%: regressed
-		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 110}, // +10%: noise
-		{Mode: "formation", Nodes: 1000, Index: "percell", WallMS: 200}, // new cell
+		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 160},
+		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 64}, // 2.5x: halved
+		{Mode: "crypto", Nodes: 1000, Index: "nocache", WallMS: 400},
+		{Mode: "crypto", Nodes: 1000, Index: "cache", WallMS: 105},     // 3.8x: noise
+		{Mode: "formation", Nodes: 1000, Index: "serial", WallMS: 800}, // new pair
+		{Mode: "formation", Nodes: 1000, Index: "percell", WallMS: 200},
 	}
 	return old, new
 }
 
-func TestTrendAlignsAndFlags(t *testing.T) {
+func TestTrendComparesRatiosNotWall(t *testing.T) {
 	old, new := trendFixtures()
 	rows := Trend(old, new, 0.25)
-	if len(rows) != 5 {
-		t.Fatalf("got %d rows, want 5", len(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (radio@250, radio@1000, crypto@1000, formation@1000)", len(rows))
 	}
-	byCell := map[string]TrendRow{}
-	for _, r := range rows {
-		byCell[r.Mode+"/"+r.Index] = r
-	}
-
-	if r := byCell["radio/grid"]; !r.Regressed || r.Delta != 0.5 {
-		t.Errorf("grid cell not flagged: %+v", r)
-	}
-	if r := byCell["radio/naive"]; r.Mode == "radio" && r.Nodes == 1000 {
-		// the improved cell must not be flagged
-		for _, row := range rows {
-			if row.Mode == "radio" && row.Nodes == 1000 && row.Index == "naive" && row.Regressed {
-				t.Errorf("improved cell flagged as regression: %+v", row)
-			}
-		}
-	}
-	if r := byCell["crypto/cache"]; r.Regressed {
-		t.Errorf("within-noise cell flagged: %+v", r)
-	}
-	if r := byCell["formation/percell"]; r.Missing != "old" || r.Regressed {
-		t.Errorf("new cell mishandled: %+v", r)
-	}
+	byPair := map[string]TrendRow{}
 	for _, r := range rows {
 		if r.Mode == "radio" && r.Nodes == 250 {
-			if r.Missing != "new" || r.Regressed {
-				t.Errorf("dropped cell mishandled: %+v", r)
+			byPair["radio250"] = r
+		} else {
+			byPair[r.Mode] = r
+		}
+	}
+
+	if r := byPair["radio"]; !r.Regressed || r.OldRatio != 5.0 || r.NewRatio != 2.5 || r.Delta != 0.5 {
+		t.Errorf("eroded grid speedup not flagged: %+v", r)
+	}
+	// Crypto: every wall time quadrupled (machine), ratio moved 4.0 -> ~3.8
+	// — inside the threshold, must NOT be flagged despite +300% wall-ms.
+	if r := byPair["crypto"]; r.Regressed {
+		t.Errorf("machine-speed change flagged as regression: %+v", r)
+	}
+	if r := byPair["formation"]; r.Missing != "old" || r.Regressed || r.NewRatio != 4.0 {
+		t.Errorf("new pair mishandled: %+v", r)
+	}
+	if r := byPair["radio250"]; r.Missing != "new" || r.Regressed || r.OldRatio != 3.0 {
+		t.Errorf("dropped pair mishandled: %+v", r)
+	}
+	if !Regressed(rows) {
+		t.Error("Regressed did not notice the grid erosion")
+	}
+	// A looser threshold clears everything.
+	if Regressed(Trend(old, new, 0.6)) {
+		t.Error("60% threshold still flags a halved speedup")
+	}
+}
+
+// A sweep with an incomplete pair (the optimized cell missing) contributes
+// no ratio rather than a bogus one, and a mode with no pair mapping shows
+// up as an explicit unpaired row instead of silently escaping the gate.
+func TestTrendIgnoresIncompletePairs(t *testing.T) {
+	old := []ScaleResult{
+		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
+		// grid cell absent: no ratio can be formed
+		{Mode: "audit", Nodes: 1000, Index: "sweep", WallMS: 5}, // unknown mode
+	}
+	new := []ScaleResult{
+		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
+		{Mode: "radio", Nodes: 1000, Index: "grid", WallMS: 10},
+	}
+	rows := Trend(old, new, 0.25)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (radio half-pair + unpaired audit mode)", len(rows))
+	}
+	var sawUnpaired bool
+	for _, r := range rows {
+		switch r.Mode {
+		case "radio":
+			if r.Missing != "old" || r.Regressed {
+				t.Errorf("half-pair mishandled: %+v", r)
+			}
+		case "audit":
+			sawUnpaired = true
+			if r.Missing != "pair" || r.Regressed {
+				t.Errorf("unpaired mode mishandled: %+v", r)
 			}
 		}
 	}
-	if !Regressed(rows) {
-		t.Error("Regressed did not notice the grid regression")
+	if !sawUnpaired {
+		t.Error("unpaired mode vanished from the trend")
 	}
-
-	// A looser threshold clears everything.
-	if Regressed(Trend(old, new, 0.6)) {
-		t.Error("60%% threshold still flags a +50%% cell")
+	if !strings.Contains(RenderTrend(rows, 0.25), "unpaired mode") {
+		t.Error("render does not surface the unpaired mode")
 	}
 }
 
@@ -74,8 +113,7 @@ func TestTrendRowsAreOrdered(t *testing.T) {
 	rows := Trend(old, new, 0.25)
 	for i := 1; i < len(rows); i++ {
 		a, b := rows[i-1], rows[i]
-		if a.Mode > b.Mode || (a.Mode == b.Mode && a.Nodes > b.Nodes) ||
-			(a.Mode == b.Mode && a.Nodes == b.Nodes && a.Index > b.Index) {
+		if a.Mode > b.Mode || (a.Mode == b.Mode && a.Nodes > b.Nodes) {
 			t.Fatalf("rows out of order at %d: %+v before %+v", i, a, b)
 		}
 	}
@@ -84,7 +122,7 @@ func TestTrendRowsAreOrdered(t *testing.T) {
 func TestRenderTrendMarksRegressions(t *testing.T) {
 	old, new := trendFixtures()
 	out := RenderTrend(Trend(old, new, 0.25), 0.25)
-	for _, want := range []string{"REGRESSED", "new cell", "dropped", "+50.0%", "-25.0%"} {
+	for _, want := range []string{"REGRESSED", "new pair", "dropped", "naive/grid", "5.00x", "2.50x", "-50.0%"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
 		}

@@ -10,9 +10,11 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
+	"sbr6/internal/audit"
 	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
@@ -58,6 +60,28 @@ type Flow struct {
 	Start    time.Duration // offset into the measurement window
 }
 
+// PartitionSpec stages the last Nodes nodes in a disjoint area beyond
+// radio reach of the main deployment, where they bootstrap as an
+// independently formed cluster, and then glides them onto their main-area
+// positions once the network stands — the partition-merge shape in which
+// two nodes can hold the same address with neither ever having been inside
+// the other's DAD flood. Node 0 (the DNS anchor) always stays in the main
+// cluster. The staging copy is density-preserving: partition nodes keep
+// their relative layout, compacted so the staged cluster's local structure
+// matches what it will have after the merge.
+type PartitionSpec struct {
+	// Nodes is how many trailing nodes form the partition; 0 disables.
+	Nodes int
+	// Gap is the distance in metres between the main area's right edge and
+	// the staging area; 0 selects four radio ranges — far beyond any flood.
+	Gap float64
+	// JoinAt is when the partition starts moving, measured from the end of
+	// the bootstrap phase.
+	JoinAt time.Duration
+	// Speed is the glide speed in m/s; 0 selects 25 m/s.
+	Speed float64
+}
+
 // Config describes a full experiment.
 type Config struct {
 	Seed int64
@@ -85,6 +109,14 @@ type Config struct {
 	// disjoint cells bootstrap concurrently; same-cell claimants stay at
 	// least one objection window apart).
 	Boot boot.Kind
+	// BootCellFraction overrides the per-cell admission bucket fraction
+	// (boot.DefaultCellFraction when 0). Must stay within
+	// (0, boot.MaxCellFraction] so same-bucket claimants keep guaranteed
+	// direct radio reach.
+	BootCellFraction float64
+	// Partition, when Nodes > 0, bootstraps a disjoint cluster that merges
+	// into the main area mid-run.
+	Partition PartitionSpec
 	// BootStagger separates DAD starts the policy must not overlap —
 	// consecutive nodes under Serial, same-cell claimants under PerCell.
 	// Defaults to the DAD timeout plus a margin so earlier nodes can relay
@@ -137,6 +169,30 @@ func Validate(cfg Config) error {
 	if !cfg.Boot.Valid() {
 		return fmt.Errorf("scenario: unknown boot policy %d: %w", int(cfg.Boot), ErrConfig)
 	}
+	if f := cfg.BootCellFraction; f != 0 {
+		if math.IsNaN(f) || f <= 0 || f > boot.MaxCellFraction {
+			return fmt.Errorf("scenario: boot cell fraction %g outside (0, %g]: %w", f, boot.MaxCellFraction, ErrConfig)
+		}
+	}
+	if cfg.Protocol.Audit.Period < 0 {
+		return fmt.Errorf("scenario: negative audit period %v: %w", cfg.Protocol.Audit.Period, ErrConfig)
+	}
+	if p := cfg.Partition; p.Nodes != 0 {
+		switch {
+		case p.Nodes < 0 || p.Nodes >= cfg.N:
+			return fmt.Errorf("scenario: partition of %d nodes needs 1..%d (node 0 anchors the main cluster): %w",
+				p.Nodes, cfg.N-1, ErrConfig)
+		case p.Gap < 0 || math.IsNaN(p.Gap) || math.IsInf(p.Gap, 0):
+			return fmt.Errorf("scenario: partition gap %g must be finite and not negative: %w", p.Gap, ErrConfig)
+		case p.Gap != 0 && p.Gap <= effectiveRange(cfg):
+			return fmt.Errorf("scenario: partition gap %g must exceed the radio range %g or be 0 for the default: %w",
+				p.Gap, effectiveRange(cfg), ErrConfig)
+		case p.Speed < 0 || math.IsNaN(p.Speed) || math.IsInf(p.Speed, 0):
+			return fmt.Errorf("scenario: partition speed %g must be finite and not negative: %w", p.Speed, ErrConfig)
+		case p.JoinAt < 0:
+			return fmt.Errorf("scenario: negative partition join offset %v: %w", p.JoinAt, ErrConfig)
+		}
+	}
 	for i, f := range cfg.Flows {
 		switch {
 		case f.From < 0 || f.From >= cfg.N:
@@ -171,6 +227,15 @@ func Validate(cfg Config) error {
 	return nil
 }
 
+// effectiveRange is the radio range the medium will actually use (it
+// defaults a zero Range to 250 m).
+func effectiveRange(cfg Config) float64 {
+	if cfg.Radio.Range <= 0 {
+		return 250
+	}
+	return cfg.Radio.Range
+}
+
 // Scenario is a built simulation ready to run.
 type Scenario struct {
 	Cfg    Config
@@ -191,6 +256,8 @@ type Scenario struct {
 	windows      []WindowStat
 	measureStart sim.Time
 	bootOffsets  []time.Duration
+	bootHorizon  time.Duration
+	mergeDone    time.Duration // latest partition glide arrival; 0 = no partition
 }
 
 type flowPacket struct {
@@ -320,6 +387,33 @@ func Build(cfg Config) (*Scenario, error) {
 		positions = mobility.UniformPlacement(cfg.Area, cfg.N, placeRng)
 	}
 
+	// Partition staging: the trailing nodes spend formation in a disjoint
+	// cluster beyond flood reach and glide onto their main-area positions
+	// after the bootstrap phase.
+	formationPos := positions
+	if cfg.Partition.Nodes > 0 {
+		formationPos = stagePartition(cfg, positions, medium.Config().Range)
+	}
+
+	// The admission schedule is fixed at build time from the formation-start
+	// positions; policies are pure functions of the plan, so they consume no
+	// simulator RNG and never perturb the rest of the seeded run. The
+	// horizon — when Bootstrap declares formation over — anchors the
+	// partition glide start, so it is fixed here too: one extra stagger of
+	// settle time beyond the last objection window, matching the historical
+	// serial total of N*stagger + timeout + 2s exactly for every explicitly
+	// configured timeout.
+	sc.bootOffsets = boot.New(cfg.Boot).Schedule(boot.Plan{
+		Seed:         cfg.Seed,
+		Window:       cfg.Protocol.DAD.ObjectionWindow(),
+		Stagger:      cfg.BootStagger,
+		Cell:         medium.Config().Range,
+		Anchor:       0, // the DNS server must be up before anyone needs it
+		Positions:    formationPos,
+		CellFraction: cfg.BootCellFraction,
+	})
+	sc.bootHorizon = boot.Horizon(sc.bootOffsets, cfg.Protocol.DAD.ObjectionWindow(), cfg.BootStagger+2*time.Second)
+
 	// Identities. The DNS key pair is node 0's.
 	dnsIdent, err := identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000)), cfg.Names[0])
 	if err != nil {
@@ -347,7 +441,21 @@ func Build(cfg Config) (*Scenario, error) {
 		if b, hostile := cfg.Behaviors[i]; hostile {
 			n.Behavior = b
 		}
-		track := buildTrack(cfg, positions[i], i)
+		var track mobility.Track
+		if cfg.Partition.Nodes > 0 && i >= cfg.N-cfg.Partition.Nodes {
+			speed := cfg.Partition.Speed
+			if speed <= 0 {
+				speed = 25
+			}
+			g := mobility.NewGlide(formationPos[i], positions[i],
+				sim.Time(0).Add(sc.bootHorizon+cfg.Partition.JoinAt), speed)
+			if at := time.Duration(g.Arrival()); at > sc.mergeDone {
+				sc.mergeDone = at
+			}
+			track = g
+		} else {
+			track = buildTrack(cfg, positions[i], i)
+		}
 		medium.AddNode(radio.NodeID(i), track.Position, n)
 		// Declare the track's speed bound so the medium's spatial index can
 		// re-bucket lazily; tracks that cannot bound themselves stay
@@ -363,18 +471,37 @@ func Build(cfg Config) (*Scenario, error) {
 		sc.DNSSrv.Preload(name, sc.Nodes[idx].Addr())
 	}
 
-	// The admission schedule is fixed at build time from the formation-start
-	// positions; policies are pure functions of the plan, so they consume no
-	// simulator RNG and never perturb the rest of the seeded run.
-	sc.bootOffsets = boot.New(cfg.Boot).Schedule(boot.Plan{
-		Seed:      cfg.Seed,
-		Window:    cfg.Protocol.DAD.ObjectionWindow(),
-		Stagger:   cfg.BootStagger,
-		Cell:      medium.Config().Range,
-		Anchor:    0, // the DNS server must be up before anyone needs it
-		Positions: positions,
-	})
 	return sc, nil
+}
+
+// stagePartition returns the formation-start positions: main-cluster nodes
+// keep their placement; partition nodes move to a staging copy beyond the
+// gap, compacted by sqrt(partition/total) so the staged cluster's density
+// matches the main deployment's. The staging base is the bounding box of
+// the actual placement, not the declared area — line placements routinely
+// extend past cfg.Area — so the gap always separates the clusters by more
+// than the radio range whatever the placement produced.
+func stagePartition(cfg Config, positions []geom.Point, radioRange float64) []geom.Point {
+	p := cfg.Partition
+	gap := p.Gap
+	if gap <= 0 {
+		gap = 4 * radioRange
+	}
+	maxX := cfg.Area.W
+	for _, pos := range positions {
+		if pos.X > maxX {
+			maxX = pos.X
+		}
+	}
+	scale := math.Sqrt(float64(p.Nodes) / float64(cfg.N))
+	out := append([]geom.Point(nil), positions...)
+	for i := cfg.N - p.Nodes; i < cfg.N; i++ {
+		out[i] = geom.Point{
+			X: maxX + gap + positions[i].X*scale,
+			Y: positions[i].Y * scale,
+		}
+	}
+	return out
 }
 
 // buildTrack constructs node i's mobility track per the spec: static,
@@ -413,20 +540,16 @@ func (sc *Scenario) BootOffsets() []time.Duration {
 }
 
 // Bootstrap starts DAD per the admission policy's schedule and runs until
-// the last objection window closes. It returns how many nodes configured
-// successfully.
+// the last objection window closes (the horizon Build fixed; ObjectionWindow
+// is what the initiators actually arm, so a zero Timeout — the ndp default
+// in effect — still runs until the last window has closed). It returns how
+// many nodes configured successfully.
 func (sc *Scenario) Bootstrap() int {
 	for i, n := range sc.Nodes {
 		n := n
 		sc.S.After(sc.bootOffsets[i], n.Start)
 	}
-	// One extra stagger of settle time beyond the last objection window,
-	// matching the historical serial total of N*stagger + timeout + 2s
-	// exactly for every explicitly configured timeout. ObjectionWindow is
-	// what the initiators actually arm, so a zero Timeout (ndp default in
-	// effect) still runs until the last window has closed.
-	total := boot.Horizon(sc.bootOffsets, sc.Cfg.Protocol.DAD.ObjectionWindow(), sc.Cfg.BootStagger+2*time.Second)
-	sc.S.RunFor(total)
+	sc.S.RunFor(sc.bootHorizon)
 	configured := 0
 	for _, n := range sc.Nodes {
 		if n.Configured() {
@@ -434,6 +557,31 @@ func (sc *Scenario) Bootstrap() int {
 		}
 	}
 	return configured
+}
+
+// MergeComplete returns the virtual instant (from run start) by which every
+// partition node has arrived at its main-area position — zero when the
+// scenario stages no partition. The merge suites size their post-formation
+// run spans from it.
+func (sc *Scenario) MergeComplete() time.Duration { return sc.mergeDone }
+
+// StartAuditSweeps schedules every node's periodic audit re-advertisements
+// over the next span of virtual time, one per sweep period at the node's
+// seed-stable phase (audit.Offset). Run calls it as the post-bootstrap
+// phases begin; harnesses that drive Bootstrap directly call it themselves.
+// With the sweep disabled it schedules nothing, draws nothing, and the run
+// is byte-identical to one without the audit subsystem.
+func (sc *Scenario) StartAuditSweeps(span time.Duration) {
+	period := sc.Cfg.Protocol.Audit.Period
+	if period <= 0 {
+		return
+	}
+	for i, n := range sc.Nodes {
+		n := n
+		for t := audit.Offset(sc.Cfg.Seed, i, period); t < span; t += period {
+			sc.S.After(t, n.AuditAdvertise)
+		}
+	}
 }
 
 // Run executes the full experiment: bootstrap, warmup, measured traffic,
@@ -445,6 +593,7 @@ func (sc *Scenario) Run() *Result {
 	res.Configured = sc.Bootstrap()
 	res.DADFailed = sc.Cfg.N - res.Configured
 
+	sc.StartAuditSweeps(sc.Cfg.Warmup + sc.Cfg.Duration + sc.Cfg.Cooldown)
 	sc.S.RunFor(sc.Cfg.Warmup)
 	sc.measureStart = sc.S.Now()
 	sc.startFlows()

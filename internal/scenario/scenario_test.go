@@ -1,6 +1,10 @@
 package scenario
 
 import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +13,7 @@ import (
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/ipv6"
+	"sbr6/internal/radio"
 )
 
 // fastCfg shrinks every protocol timer so tests run quickly.
@@ -415,5 +420,109 @@ func TestResultString(t *testing.T) {
 	r := &Result{PDR: 0.5, Delivered: 1, Sent: 2}
 	if r.String() == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// Validation of the audit, partition and cell-fraction knobs.
+func TestValidateAuditPartitionCellFraction(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Flows = nil
+		return cfg
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"negative audit period", func(c *Config) { c.Protocol.Audit.Period = -time.Second }, "audit period"},
+		{"cell fraction too large", func(c *Config) { c.BootCellFraction = 0.8 }, "cell fraction"},
+		{"cell fraction negative", func(c *Config) { c.BootCellFraction = -0.1 }, "cell fraction"},
+		{"partition swallows anchor", func(c *Config) { c.Partition.Nodes = c.N }, "anchors the main cluster"},
+		{"partition negative gap", func(c *Config) { c.Partition = PartitionSpec{Nodes: 2, Gap: -1} }, "gap"},
+		{"partition NaN speed", func(c *Config) { c.Partition = PartitionSpec{Nodes: 2, Speed: math.NaN()} }, "speed"},
+		{"partition negative join", func(c *Config) { c.Partition = PartitionSpec{Nodes: 2, JoinAt: -time.Second} }, "join"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			_, err := Build(cfg)
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !errors.Is(err, ErrConfig) {
+				t.Fatalf("error does not wrap ErrConfig: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The cell-fraction knob genuinely changes per-cell bucketing: a widened
+// fraction merges neighbouring buckets, so some offsets must move.
+func TestBootCellFractionChangesSchedule(t *testing.T) {
+	mk := func(frac float64) []time.Duration {
+		cfg := DefaultConfig()
+		cfg.N = 60
+		cfg.Boot = boot.PerCell
+		cfg.BootCellFraction = frac
+		cfg.Flows = nil
+		sc, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc.BootOffsets()
+	}
+	def, wide := mk(0), mk(0.7)
+	if reflect.DeepEqual(def, wide) {
+		t.Fatal("widening the admission buckets left every offset unchanged")
+	}
+	if !reflect.DeepEqual(mk(0), mk(boot.DefaultCellFraction)) {
+		t.Fatal("zero fraction does not match the explicit default")
+	}
+}
+
+// A staged partition is disjoint from the main cluster at formation start
+// and its nodes end on their main-area placements after the glide.
+func TestPartitionStagingAndMerge(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 30
+	cfg.Flows = nil
+	cfg.Protocol.DAD.Timeout = 300 * time.Millisecond
+	cfg.BootStagger = 300 * time.Millisecond
+	cfg.Partition = PartitionSpec{Nodes: 10, JoinAt: time.Second, Speed: 200}
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Components()) < 2 {
+		t.Fatal("staged partition is not disjoint at formation start")
+	}
+	// No partition node within radio reach of any main node.
+	for i := cfg.N - 10; i < cfg.N; i++ {
+		pi := sc.Medium.PositionOf(radio.NodeID(i))
+		for j := 0; j < cfg.N-10; j++ {
+			if pi.Dist(sc.Medium.PositionOf(radio.NodeID(j))) <= cfg.Radio.Range {
+				t.Fatalf("staged node %d within range of main node %d", i, j)
+			}
+		}
+	}
+	before := len(sc.Components())
+	sc.Bootstrap()
+	sc.S.RunFor(sc.MergeComplete() - time.Duration(sc.S.Now()) + time.Second)
+	// Every staged node has arrived inside the main area (sparse random
+	// placements need not be fully connected, so the assertion is on the
+	// glide itself, not the unit-disk graph).
+	for i := cfg.N - 10; i < cfg.N; i++ {
+		p := sc.Medium.PositionOf(radio.NodeID(i))
+		if p.X > cfg.Area.W || p.Y > cfg.Area.H {
+			t.Fatalf("staged node %d never arrived: still at (%g, %g)", i, p.X, p.Y)
+		}
+	}
+	if after := len(sc.Components()); after >= before {
+		t.Fatalf("merge did not reduce the component count (%d -> %d)", before, after)
 	}
 }

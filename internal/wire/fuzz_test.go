@@ -186,6 +186,45 @@ func FuzzDREPRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzAuditAdvRoundTrip is the dedicated target for the post-formation
+// audit re-advertisement: a flooded message whose distinguishing shape is
+// the hop-accumulated route record next to a growing sweep round counter
+// and the signed (sig, pk) proof blobs.
+func FuzzAuditAdvRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(2), uint64(3), uint8(4), []byte{0x05}, []byte{0x06}, uint64(7), uint64(8))
+	f.Add(uint64(0), uint32(0), uint64(0), uint8(0), []byte{}, []byte{}, uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint32(0), ^uint64(0), uint8(200), make([]byte, 64), make([]byte, 32), ^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, sip uint64, seq uint32, ch uint64, rrLen uint8, sig, pk []byte, rn, salt uint64) {
+		owned := ipv6.SiteLocal(0, sip)
+		var rr []ipv6.Addr
+		for i := 0; i < int(rrLen)%12; i++ {
+			rr = append(rr, ipv6.SiteLocal(uint16(i), salt+uint64(i)))
+		}
+		roundTrip(t, &Packet{Src: owned, Dst: ipv6.AllNodes, TTL: uint8(seq), Msg: &AuditAdv{
+			SIP: owned, Seq: seq, Ch: ch, RR: rr, Sig: clampBlob(sig), PK: clampBlob(pk), Rn: rn}})
+	})
+}
+
+// FuzzAuditObjectionRoundTrip is the dedicated target for the audit
+// objection — the message that turns a heard conflicting advertisement into
+// a deterministic resolution. Its shape diverges from the AREP's by the
+// echoed challenge travelling in the clear next to the proof blobs.
+func FuzzAuditObjectionRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint64(9), []byte{0x05}, []byte{0x06}, uint64(7), uint64(11))
+	f.Add(uint64(0), uint8(0), uint64(0), []byte{}, []byte{}, uint64(0), uint64(0))
+	f.Add(^uint64(0), uint8(200), ^uint64(0), make([]byte, 64), make([]byte, 32), ^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, sip uint64, rrLen uint8, ch uint64, sig, pk []byte, rn, salt uint64) {
+		contested := ipv6.SiteLocal(0, sip)
+		var rr, sr []ipv6.Addr
+		for i := 0; i < int(rrLen)%12; i++ {
+			rr = append(rr, ipv6.SiteLocal(uint16(i), salt+uint64(i)))
+			sr = append(sr, ipv6.SiteLocal(uint16(i)+1, salt^uint64(i)))
+		}
+		roundTrip(t, &Packet{Src: contested, Dst: contested, TTL: 8, SrcRoute: sr, Msg: &AuditObj{
+			SIP: contested, RR: rr, Ch: ch, Sig: clampBlob(sig), PK: clampBlob(pk), Rn: rn}})
+	})
+}
+
 // FuzzDADRoundTrip covers the secure-DAD message family: the flooded AREQ
 // and the two objection replies (AREP, DREP) that answer it.
 func FuzzDADRoundTrip(f *testing.F) {

@@ -29,6 +29,9 @@ const (
 	TUpdateChal   // DNS-signed challenge
 	TUpdate       // signed (old IP, new IP) binding update
 	TUpdateResult // DNS-signed outcome
+
+	TAuditAdv // post-formation signed address re-advertisement
+	TAuditObj // signed objection from a conflicting binding holder
 )
 
 // String names the message type as the paper does.
@@ -64,6 +67,10 @@ func (t Type) String() string {
 		return "UPD"
 	case TUpdateResult:
 		return "UPDR"
+	case TAuditAdv:
+		return "AADV"
+	case TAuditObj:
+		return "AOBJ"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -416,6 +423,60 @@ func (m *UpdateResult) encodeBody(w *writer) {
 	w.blob(m.Sig)
 }
 
+// AuditAdv is the post-formation audit sweep's flooded re-advertisement: a
+// configured node periodically re-asserts its CGA address binding so a
+// conflicting claimant that was never inside its DAD flood (a concurrent
+// cross-cell claim, a merged partition) can finally hear about it and
+// object. The route record accumulates hop by hop exactly like an AREQ's,
+// giving objectors a reverse path before any route discovery has run.
+type AuditAdv struct {
+	SIP ipv6.Addr   // the advertised (currently owned) address
+	Seq uint32      // advertiser's sweep round, strictly increasing
+	Ch  uint64      // challenge any objection must echo
+	RR  []ipv6.Addr // route record accumulated hop by hop
+	Sig []byte      // [SIP, seq, ch]_{O_SK}
+	PK  []byte      // O_PK
+	Rn  uint64      // O_rn
+}
+
+// Type implements Message.
+func (*AuditAdv) Type() Type { return TAuditAdv }
+
+func (m *AuditAdv) encodeBody(w *writer) {
+	w.addr(m.SIP)
+	w.u32(m.Seq)
+	w.u64(m.Ch)
+	w.route(m.RR)
+	w.blob(m.Sig)
+	w.blob(m.PK)
+	w.u64(m.Rn)
+}
+
+// AuditObj is the objection a node raises when an audit advertisement
+// claims an address the node itself holds: proof of its own CGA binding
+// plus the signed challenge echo, mirroring the AREP shape but under its
+// own domain-separation tag so neither can be replayed as the other.
+type AuditObj struct {
+	SIP ipv6.Addr   // the contested address
+	RR  []ipv6.Addr // reverse route back to the advertiser
+	Ch  uint64      // echo of the advertisement's challenge
+	Sig []byte      // [SIP, ch]_{R_SK}
+	PK  []byte      // R_PK
+	Rn  uint64      // R_rn
+}
+
+// Type implements Message.
+func (*AuditObj) Type() Type { return TAuditObj }
+
+func (m *AuditObj) encodeBody(w *writer) {
+	w.addr(m.SIP)
+	w.route(m.RR)
+	w.u64(m.Ch)
+	w.blob(m.Sig)
+	w.blob(m.PK)
+	w.u64(m.Rn)
+}
+
 func decodeBody(t Type, r *reader) (Message, error) {
 	var m Message
 	switch t {
@@ -461,6 +522,10 @@ func decodeBody(t Type, r *reader) (Message, error) {
 		m = &Update{Name: r.str(), OldIP: r.addr(), NewIP: r.addr(), Rn: r.u64(), NewRn: r.u64(), PK: r.blob(), Sig: r.blob()}
 	case TUpdateResult:
 		m = &UpdateResult{Name: r.str(), OK: r.bool(), Ch: r.u64(), Sig: r.blob()}
+	case TAuditAdv:
+		m = &AuditAdv{SIP: r.addr(), Seq: r.u32(), Ch: r.u64(), RR: r.route(), Sig: r.blob(), PK: r.blob(), Rn: r.u64()}
+	case TAuditObj:
+		m = &AuditObj{SIP: r.addr(), RR: r.route(), Ch: r.u64(), Sig: r.blob(), PK: r.blob(), Rn: r.u64()}
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadField, t)
 	}

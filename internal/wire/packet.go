@@ -160,3 +160,18 @@ func SigUpdate(oldIP, newIP ipv6.Addr, ch uint64) []byte {
 func SigUpdateResult(name string, ok bool, ch uint64) []byte {
 	return sigBytes(0x0a, func(w *writer) { w.str(name); w.bool(ok); w.u64(ch) })
 }
+
+// SigAuditAdv is the owner's audit re-advertisement attestation:
+// (SIP, seq, ch). The sweep round and challenge are covered so a captured
+// advertisement cannot be replayed later with an inflated round counter to
+// fake a live conflicting claimant.
+func SigAuditAdv(sip ipv6.Addr, seq uint32, ch uint64) []byte {
+	return sigBytes(0x0b, func(w *writer) { w.addr(sip); w.u32(seq); w.u64(ch) })
+}
+
+// SigAuditObj is the conflicting holder's audit objection proof: (SIP, ch).
+// The tag differs from SigAREP so a DAD objection signature can never stand
+// in for an audit objection or vice versa.
+func SigAuditObj(sip ipv6.Addr, ch uint64) []byte {
+	return sigBytes(0x0c, func(w *writer) { w.addr(sip); w.u64(ch) })
+}

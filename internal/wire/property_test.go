@@ -57,7 +57,7 @@ func randHops(r *rand.Rand, max int) []HopAttestation {
 
 // randMessage draws one random message of a random type.
 func randMessage(r *rand.Rand) Message {
-	switch r.Intn(15) {
+	switch r.Intn(17) {
 	case 0:
 		return &AREQ{SIP: randAddr(r), Seq: r.Uint32(), DN: randString(r, 40), Ch: r.Uint64(), RR: randRoute(r, 12)}
 	case 1:
@@ -91,6 +91,12 @@ func randMessage(r *rand.Rand) Message {
 	case 13:
 		return &Update{Name: randString(r, 40), OldIP: randAddr(r), NewIP: randAddr(r),
 			Rn: r.Uint64(), NewRn: r.Uint64(), PK: randBlob(r, 64), Sig: randBlob(r, 80)}
+	case 14:
+		return &AuditAdv{SIP: randAddr(r), Seq: r.Uint32(), Ch: r.Uint64(), RR: randRoute(r, 12),
+			Sig: randBlob(r, 80), PK: randBlob(r, 64), Rn: r.Uint64()}
+	case 15:
+		return &AuditObj{SIP: randAddr(r), RR: randRoute(r, 12), Ch: r.Uint64(),
+			Sig: randBlob(r, 80), PK: randBlob(r, 64), Rn: r.Uint64()}
 	default:
 		return &UpdateResult{Name: randString(r, 40), OK: r.Intn(2) == 0, Ch: r.Uint64(), Sig: randBlob(r, 80)}
 	}

@@ -240,6 +240,7 @@ func TestTypeStrings(t *testing.T) {
 		TRREP: "RREP", TCREP: "CREP", TRERR: "RERR", TData: "DATA",
 		TAck: "ACK", TDNSQuery: "DNSQ", TDNSAnswer: "DNSA",
 		TUpdateReq: "UPDQ", TUpdateChal: "CHAL", TUpdate: "UPD", TUpdateResult: "UPDR",
+		TAuditAdv: "AADV", TAuditObj: "AOBJ",
 	}
 	for ty, name := range want {
 		if ty.String() != name {

@@ -373,6 +373,45 @@ func WithBootStagger(d time.Duration) Option {
 	}
 }
 
+// WithBootCellFraction sets the per-cell admission bucket side as a
+// fraction of the radio range (default boot.DefaultCellFraction = 0.25),
+// replacing what used to be a compiled constant. Sparse networks widen the
+// protected radius essentially for free; the fraction is capped at
+// 1/sqrt(2), past which the bucket diagonal exceeds one radio range and
+// two same-bucket claimants would no longer be guaranteed direct radio
+// reach — the invariant BootPerCell's detection argument rests on. Only
+// meaningful under BootPerCell.
+func WithBootCellFraction(f float64) Option {
+	return func(s *Scenario) error {
+		if !finitePos(f) || f > boot.MaxCellFraction {
+			return fmt.Errorf("WithBootCellFraction(%g): need a fraction in (0, %g]: %w", f, boot.MaxCellFraction, ErrOption)
+		}
+		s.cfg.BootCellFraction = f
+		return nil
+	}
+}
+
+// WithAuditSweep enables the post-formation address audit sweep: every
+// configured node re-advertises its signed CGA address binding once per
+// period (phase-staggered by a seed-stable hash so sweeps never
+// synchronize), any node holding a conflicting binding raises a signed
+// objection, and the conflict resolves deterministically — the binding
+// with the lower CGA digest rekeys and re-runs DAD; bit-identical bindings
+// (a cloned identity) make both sides rekey. The sweep closes the two
+// duplicate-address windows one-shot DAD cannot see: simultaneous claims
+// from different admission cells, and partition merges where both
+// claimants configured before ever sharing a radio. Disabled by default;
+// disabling it is a provable no-op (byte-identical runs).
+func WithAuditSweep(period time.Duration) Option {
+	return func(s *Scenario) error {
+		if period <= 0 {
+			return fmt.Errorf("WithAuditSweep(%v): period must be positive: %w", period, ErrOption)
+		}
+		s.cfg.Protocol.Audit.Period = period
+		return nil
+	}
+}
+
 // WithBootPolicy selects the bootstrap admission policy. The default,
 // BootSerial, is the historical global stagger; BootPerCell bootstraps
 // spatially disjoint grid cells concurrently and cuts large-network
@@ -452,12 +491,14 @@ func WithBaseline() Option {
 }
 
 // restoreTimers keeps previously applied timer options (WithFastTimers,
-// WithDADTimeout) stable across a later WithSecure/WithBaseline.
+// WithDADTimeout, WithAuditSweep) stable across a later
+// WithSecure/WithBaseline.
 func restoreTimers(dst *core.Config, src core.Config) {
 	dst.DAD.Timeout = src.DAD.Timeout
 	dst.DiscoveryTimeout = src.DiscoveryTimeout
 	dst.AckTimeout = src.AckTimeout
 	dst.ResolveTimeout = src.ResolveTimeout
+	dst.Audit = src.Audit
 }
 
 // WithCredits toggles the credit mechanism and its loss-probing (Section

@@ -105,6 +105,14 @@ func TestOptionValidation(t *testing.T) {
 		{"bad rerr threshold", []sbr6.Option{sbr6.WithRERRThreshold(0)}, "WithRERRThreshold"},
 		{"nil option", []sbr6.Option{nil}, "nil option"},
 		{"nil tap", []sbr6.Option{sbr6.WithTap(nil)}, "WithTap"},
+		{"zero audit period", []sbr6.Option{sbr6.WithAuditSweep(0)}, "WithAuditSweep"},
+		{"negative audit period", []sbr6.Option{sbr6.WithAuditSweep(-time.Second)}, "WithAuditSweep"},
+		{"zero cell fraction", []sbr6.Option{sbr6.WithBootCellFraction(0)}, "WithBootCellFraction"},
+		{"oversized cell fraction", []sbr6.Option{sbr6.WithBootCellFraction(0.9)}, "WithBootCellFraction"},
+		{"NaN cell fraction", []sbr6.Option{sbr6.WithBootCellFraction(math.NaN())}, "WithBootCellFraction"},
+		{"clone self-victim", []sbr6.Option{
+			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.AddressClone(2, 2)),
+		}, "victim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -404,5 +412,52 @@ func TestRunBatchNoSeeds(t *testing.T) {
 	sc := fastSpec(t)
 	if _, err := (&sbr6.Runner{}).RunBatch(context.Background(), sc, nil); !errors.Is(err, sbr6.ErrOption) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAddressCloneAuditRecoveryFacade drives the audit sweep end to end
+// through the public surface: an AddressClone adversary squats node 1's
+// address from across the grid; WithAuditSweep surfaces the conflict and
+// the victim recovers onto a fresh unique address. WithSecure is applied
+// AFTER WithAuditSweep to pin that a protocol-variant switch preserves the
+// sweep configuration.
+func TestAddressCloneAuditRecoveryFacade(t *testing.T) {
+	sc, err := sbr6.NewScenario(
+		sbr6.WithSeed(3),
+		sbr6.WithNodes(36),
+		sbr6.WithPlacement(sbr6.PlaceGrid),
+		sbr6.WithBootPolicy(sbr6.BootPerCell),
+		sbr6.WithFastTimers(),
+		sbr6.WithAuditSweep(time.Second),
+		sbr6.WithSecure(),
+		sbr6.WithBootCellFraction(0.5),
+		sbr6.WithAdversaries(sbr6.AddressClone(20, 1)),
+		sbr6.WithWarmup(5*time.Second),
+		sbr6.WithDuration(time.Second),
+		sbr6.WithCooldown(time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Run()
+
+	if nw.Node(1).Addr() == nw.Node(20).Addr() {
+		t.Fatal("victim still shares the cloned address after the sweep")
+	}
+	if !nw.Node(1).Configured() {
+		t.Fatal("victim did not re-form")
+	}
+	if got := nw.Metric("audit.rekeys"); got != 1 {
+		t.Fatalf("audit.rekeys = %v, want 1 (the victim alone)", got)
+	}
+	if nw.Metric("audit.adv_sent") == 0 {
+		t.Fatal("no advertisements sent — WithSecure wiped the sweep configuration")
+	}
+	if nw.Metric("audit.conflicts") == 0 {
+		t.Fatal("the conflict never surfaced")
 	}
 }
