@@ -130,6 +130,21 @@
 // primitive-operation savings are reported by the cache's own Stats.
 // The cache is on by default; WithVerifyCache bounds or disables it.
 //
+// # Static analysis
+//
+// The determinism disciplines those differential suites check
+// dynamically are also machine-checked statically: cmd/sbr6lint runs
+// four analyzers over the sim-path packages on every commit (via go vet
+// -vettool in CI) — maprange (no map-iteration order on sim paths),
+// walltime (no wall clock, no global math/rand), simrng (RNG streams
+// minted only by annotated seed-derived owners; crypto/rand confined to
+// identity keygen) and globalstate (no package-level mutable vars).
+// Exceptions require a reasoned //sbr6:allow or //sbr6:commutative
+// annotation, inventoried by `sbr6lint -list-allows`. globalstate in
+// particular keeps the tree ready for the roadmap's region-sharded
+// simulation core: state that isn't package-global today never has to
+// be unshared tomorrow. See the README's "Static analysis" section.
+//
 // Layout:
 //
 //	.                    public facade: options, Runner, Network, Observer
@@ -142,6 +157,8 @@
 //	internal/attack      Section 4 adversaries
 //	internal/scenario    the internal experiment harness the facade compiles to
 //	internal/experiments every table/figure/attack regenerated (T1..E6)
+//	internal/lint        the sbr6lint analyzer framework, analyzers and fixtures
+//	cmd/sbr6lint         determinism/state-ownership static analysis gate
 //	cmd/sbrbench         experiment runner
 //	cmd/manetsim         general simulator CLI (single runs and parallel batches)
 //	examples/            quickstart, rescue, battlefield, nameserver

@@ -270,6 +270,7 @@ func (n *Node) handleRREP(pkt *wire.Packet, m *wire.RREP) {
 // (Replies echo the RREQ seq; destinations are keyed separately because a
 // reply for the DNS alias carries the server's real address.)
 func (n *Node) findPending(seq uint32) (ipv6.Addr, *discovery) {
+	//sbr6:commutative seqs come from the per-node nextSeq counter, so at most one discovery matches
 	for dst, d := range n.pending {
 		if d.seq == seq {
 			return dst, d

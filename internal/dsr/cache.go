@@ -167,6 +167,7 @@ func (c *Cache) Attested(dst ipv6.Addr, now sim.Time) (Route, bool) {
 // dropped.
 func (c *Cache) InvalidateLink(a, b ipv6.Addr) int {
 	dropped := 0
+	//sbr6:commutative per-destination filtering touches only that key's entry; the drop count is a sum
 	for dst, list := range c.byDst {
 		kept := list[:0]
 		for _, r := range list {
@@ -189,6 +190,7 @@ func (c *Cache) InvalidateLink(a, b ipv6.Addr) int {
 // credits condemn a host. It returns how many routes were dropped.
 func (c *Cache) InvalidateHost(h ipv6.Addr) int {
 	dropped := 0
+	//sbr6:commutative per-destination filtering touches only that key's entry; the drop count is a sum
 	for dst, list := range c.byDst {
 		kept := list[:0]
 		for _, r := range list {
@@ -230,6 +232,7 @@ func routeUsesLink(owner ipv6.Addr, relays []ipv6.Addr, dst, a, b ipv6.Addr) boo
 // order.
 func (c *Cache) Destinations() []ipv6.Addr {
 	out := make([]ipv6.Addr, 0, len(c.byDst))
+	//sbr6:commutative documented unspecified order; the only sim-path caller is usesRelay's any-match
 	for dst := range c.byDst {
 		out = append(out, dst)
 	}

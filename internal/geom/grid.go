@@ -133,6 +133,7 @@ func (g *Grid) CellOccupancy(ix, iy int32) int {
 // fn must not retain or mutate it, nor mutate the grid.
 func (g *Grid) VisitCells(fn func(ix, iy int32, ids []int)) {
 	var buf []int
+	//sbr6:commutative contract: callers must be insensitive to cross-cell order (boot.PerCell ranks inside each cell)
 	for key, bucket := range g.cells {
 		buf = buf[:0]
 		for _, e := range bucket {

@@ -1,0 +1,207 @@
+// Package analysis is a deliberately small, dependency-free skeleton of
+// golang.org/x/tools/go/analysis: just enough structure to write the
+// sbr6lint determinism analyzers against (Analyzer, Pass, Diagnostic) and
+// to host the repo's annotation conventions. The container this repo
+// builds in has no module proxy access, so x/tools itself cannot be a
+// dependency; the shapes below are kept close to the upstream API so the
+// analyzers could be ported verbatim if that ever changes.
+//
+// # Annotations
+//
+// Two comment verbs let sim-path code opt out of a finding, and both
+// require a human-readable reason so every exception is visible in
+// review (a reason-less annotation suppresses nothing):
+//
+//	//sbr6:allow <analyzer> <reason>
+//	//sbr6:commutative <reason>
+//
+// An annotation written as a trailing comment applies to its own source
+// line; written on a line (or comment block) of its own it applies to
+// the line immediately following the block. //sbr6:commutative is
+// understood only by the maprange analyzer and asserts that the loop
+// body's effect is independent of map iteration order.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a Pass and reports
+// findings through pass.Report.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned inside pass.Fset.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass holds one type-checked package being inspected by one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags       []Diagnostic
+	annotations map[string][]annotation // file name -> line-attached annotations
+}
+
+// AnnotationVerb distinguishes the two supported comment verbs.
+type AnnotationVerb int
+
+const (
+	// VerbAllow is //sbr6:allow <analyzer> <reason>.
+	VerbAllow AnnotationVerb = iota
+	// VerbCommutative is //sbr6:commutative <reason>.
+	VerbCommutative
+)
+
+// annotation is one parsed //sbr6: comment attached to a source line.
+type annotation struct {
+	verb     AnnotationVerb
+	analyzer string // VerbAllow only
+	reason   string
+	line     int // the line the annotation governs
+}
+
+const annotPrefix = "//sbr6:"
+
+// NewPass assembles a Pass and parses every //sbr6: annotation in files.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{
+		Analyzer:    a,
+		Fset:        fset,
+		Files:       files,
+		Pkg:         pkg,
+		TypesInfo:   info,
+		annotations: make(map[string][]annotation),
+	}
+	for _, f := range files {
+		p.scanAnnotations(f)
+	}
+	return p
+}
+
+// scanAnnotations records each //sbr6: comment with the lines it
+// governs: its own line (the trailing-comment form) and the line
+// immediately after its comment group (the full-line / doc-block form).
+func (p *Pass) scanAnnotations(f *ast.File) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, annotPrefix) {
+				continue
+			}
+			ann, ok := parseAnnotation(text)
+			if !ok {
+				continue // malformed; suppresses nothing, finding stays live
+			}
+			pos := p.Fset.Position(c.Pos())
+			ann.line = pos.Line
+			p.annotations[pos.Filename] = append(p.annotations[pos.Filename], ann)
+			after := ann
+			after.line = p.Fset.Position(group.End()).Line + 1
+			if after.line != ann.line {
+				p.annotations[pos.Filename] = append(p.annotations[pos.Filename], after)
+			}
+		}
+	}
+}
+
+// parseAnnotation splits an //sbr6: comment into its verb and payload.
+// A missing reason yields ok=false: the annotation is recorded nowhere
+// and therefore suppresses nothing (reasons are mandatory by design).
+func parseAnnotation(text string) (annotation, bool) {
+	body := strings.TrimPrefix(text, annotPrefix)
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return annotation{}, false
+	}
+	switch fields[0] {
+	case "allow":
+		if len(fields) < 3 { // allow + analyzer + at least one reason word
+			return annotation{}, false
+		}
+		return annotation{
+			verb:     VerbAllow,
+			analyzer: fields[1],
+			reason:   strings.Join(fields[2:], " "),
+		}, true
+	case "commutative":
+		if len(fields) < 2 {
+			return annotation{}, false
+		}
+		return annotation{
+			verb:   VerbCommutative,
+			reason: strings.Join(fields[1:], " "),
+		}, true
+	}
+	return annotation{}, false
+}
+
+// Allowed reports whether a finding by this pass's analyzer at pos is
+// suppressed by an //sbr6:allow annotation with a reason.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, ann := range p.annotations[position.Filename] {
+		if ann.verb == VerbAllow && ann.analyzer == p.Analyzer.Name && ann.line == position.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// Commutative reports whether pos's line carries an //sbr6:commutative
+// annotation (with its mandatory reason). Only maprange consults it.
+func (p *Pass) Commutative(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, ann := range p.annotations[position.Filename] {
+		if ann.verb == VerbCommutative && ann.line == position.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a finding unless an //sbr6:allow annotation covers it
+// or it lies in a _test.go file (the analyzers police simulator
+// production paths; test harnesses may legitimately time themselves or
+// mint throwaway RNGs).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) || p.InTestFile(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Diagnostics returns the findings in stable (file, line, column) order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	out := append([]Diagnostic(nil), p.diags...)
+	sort.SliceStable(out, func(i, j int) bool {
+		pi, pj := p.Fset.Position(out[i].Pos), p.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out
+}

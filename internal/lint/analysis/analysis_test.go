@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestParseAnnotation pins the grammar: both verbs demand a reason, and
+// anything else is not an annotation.
+func TestParseAnnotation(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		ok   bool
+		verb AnnotationVerb
+	}{
+		{"//sbr6:allow maprange keys are disjoint", true, VerbAllow},
+		{"//sbr6:allow maprange", false, 0},
+		{"//sbr6:allow", false, 0},
+		{"//sbr6:commutative addition is order-free", true, VerbCommutative},
+		{"//sbr6:commutative", false, 0},
+		{"//sbr6:forbid everything", false, 0},
+		{"//sbr6:", false, 0},
+	} {
+		ann, ok := parseAnnotation(tc.text)
+		if ok != tc.ok {
+			t.Errorf("parseAnnotation(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if ok && ann.verb != tc.verb {
+			t.Errorf("parseAnnotation(%q) verb = %v, want %v", tc.text, ann.verb, tc.verb)
+		}
+		if ok && ann.reason == "" {
+			t.Errorf("parseAnnotation(%q) accepted an empty reason", tc.text)
+		}
+	}
+}
+
+// TestDiagnosticsSorted proves findings come out in (file, line, column)
+// order no matter the order analyzers report them in — diagnostic text
+// must itself be deterministic.
+func TestDiagnosticsSorted(t *testing.T) {
+	const src = `package p
+
+var a = 1
+var b = 2
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Name: "test"}
+	pass := NewPass(a, fset, []*ast.File{f}, nil, nil)
+
+	var positions []token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if vs, ok := n.(*ast.ValueSpec); ok {
+			positions = append(positions, vs.Pos())
+		}
+		return true
+	})
+	if len(positions) != 2 {
+		t.Fatalf("fixture must yield 2 value specs, got %d", len(positions))
+	}
+	pass.Reportf(positions[1], "second")
+	pass.Reportf(positions[0], "first")
+
+	diags := pass.Diagnostics()
+	if len(diags) != 2 || diags[0].Message != "first" || diags[1].Message != "second" {
+		t.Fatalf("diagnostics not in positional order: %+v", diags)
+	}
+}
+
+// TestAnnotationAttachment pins the two placement forms: trailing
+// comments govern their own line, full-line comments (and doc blocks)
+// govern the line after the group.
+func TestAnnotationAttachment(t *testing.T) {
+	const src = `package p
+
+func f(m map[int]int) {
+	//sbr6:commutative full-line form
+	for range m {
+	}
+	x := len(m) //sbr6:allow test trailing form
+	_ = x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{Name: "test"}
+	pass := NewPass(a, fset, []*ast.File{f}, nil, nil)
+
+	var rangePos, assignPos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			rangePos = n.Pos()
+		case *ast.AssignStmt:
+			assignPos = n.Pos()
+		}
+		return true
+	})
+	if !pass.Commutative(rangePos) {
+		t.Error("full-line //sbr6:commutative must govern the following line")
+	}
+	if !pass.Allowed(assignPos) {
+		t.Error("trailing //sbr6:allow must govern its own line")
+	}
+	if pass.Commutative(assignPos) {
+		t.Error("the commutative annotation must not leak to unrelated lines")
+	}
+}

@@ -1,0 +1,59 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sbr6/internal/lint/analysis"
+)
+
+// GlobalState flags package-level `var` declarations on sim paths.
+// Package-global mutable state is shared by every node and every future
+// region shard in the process; it is the direct structural blocker to
+// the roadmap's region-sharded simulation core (and to the per-seed
+// parallel runner staying race-free). Two shapes are exempt because they
+// are write-once by convention and checked elsewhere:
+//
+//   - error sentinels (`var ErrX = errors.New(...)` — static type error),
+//   - blank compile-time assertions (`var _ Iface = (*T)(nil)`).
+//
+// Anything else needs an //sbr6:allow globalstate <reason> or, better, a
+// home on a struct owned by the simulation.
+var GlobalState = &analysis.Analyzer{
+	Name: "globalstate",
+	Doc:  "flag package-level mutable vars on sim paths (sharding blocker)",
+	Run:  runGlobalState,
+}
+
+func runGlobalState(pass *analysis.Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if types.Identical(obj.Type(), errorType) {
+						continue
+					}
+					pass.Reportf(name.Pos(), "package-level var %s is process-global mutable state on a sim path; own it from the simulation (or annotate //sbr6:allow globalstate <reason>)", name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sbr6/internal/lint/analysis"
+)
+
+// MapRange flags `for ... range m` where m is a map, unless the loop is
+// the canonical collect-keys idiom followed by a sort of the collected
+// slice in the same block, or the loop carries an //sbr6:commutative
+// annotation asserting order-independence. Go randomizes map iteration
+// order per run, so any map range whose effect is order-sensitive makes
+// simulation Results differ between byte-identical runs — the n.probes
+// probe-ack bug that PR 2's cross-medium differential suite caught
+// dynamically is exactly this shape.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration on sim paths unless sorted or annotated //sbr6:commutative",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Commutative(rs.Pos()) {
+				return true
+			}
+			if collectsThenSorts(pass, f, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map: iteration order is nondeterministic on a sim path; sort the keys first, or annotate //sbr6:commutative <reason> if the body is order-independent")
+			return true
+		})
+	}
+	return nil
+}
+
+// collectsThenSorts recognizes the one map range that needs no
+// annotation: a body that only appends the key (or value) to a slice,
+// with a sort.* or slices.* call on that slice later in the same block.
+func collectsThenSorts(pass *analysis.Pass, f *ast.File, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if a0, ok := call.Args[0].(*ast.Ident); !ok || a0.Name != lhs.Name {
+		return false
+	}
+	target := pass.TypesInfo.ObjectOf(lhs)
+	if target == nil {
+		return false
+	}
+	return sortedAfter(pass, f, rs, target)
+}
+
+// sortedAfter reports whether some statement after rs in its innermost
+// enclosing block calls into package sort or slices with the collected
+// slice among the arguments.
+func sortedAfter(pass *analysis.Pass, f *ast.File, rs *ast.RangeStmt, target types.Object) bool {
+	var tail []ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || tail != nil {
+			return false
+		}
+		if block, ok := n.(*ast.BlockStmt); ok {
+			for i, st := range block.List {
+				if st == ast.Stmt(rs) {
+					tail = block.List[i+1:]
+					return false
+				}
+			}
+		}
+		return n.Pos() <= rs.Pos() && rs.End() <= n.End() || n == ast.Node(f)
+	})
+	for _, st := range tail {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.ObjectOf(pkgIdent).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

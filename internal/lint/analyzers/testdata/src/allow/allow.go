@@ -1,0 +1,29 @@
+// Fixture for the //sbr6:allow escape hatch itself, run under the
+// walltime analyzer:
+//
+//   - an allow naming the analyzer WITH a reason suppresses the finding,
+//   - an allow missing its reason suppresses nothing (reasons are
+//     mandatory so every exception is legible in review),
+//   - an allow naming a different analyzer suppresses nothing.
+package allow
+
+import "time"
+
+func properlyAllowed() time.Time {
+	//sbr6:allow walltime fixture exercises the sanctioned escape hatch
+	return time.Now()
+}
+
+func trailingAllowed() time.Time {
+	return time.Now() //sbr6:allow walltime trailing-comment form of the hatch
+}
+
+func missingReason() time.Time {
+	//sbr6:allow walltime
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wrongAnalyzer() time.Time {
+	//sbr6:allow maprange reason aimed at the wrong check
+	return time.Now() // want `time\.Now reads the wall clock`
+}

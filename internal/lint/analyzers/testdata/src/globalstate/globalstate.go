@@ -1,0 +1,41 @@
+// Fixture for the globalstate analyzer: package-level mutable vars are
+// flagged; error sentinels and blank compile-time assertions are the
+// two sanctioned shapes.
+package globalstate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+var counter int // want `package-level var counter is process-global mutable state`
+
+var mu sync.Mutex // want `package-level var mu is process-global mutable state`
+
+var registry = map[string]int{} // want `package-level var registry is process-global mutable state`
+
+var a, b int // want `package-level var a is process-global mutable state` // want `package-level var b is process-global mutable state`
+
+// Error sentinels are write-once by convention and stay legal.
+var ErrNotFound = errors.New("globalstate: not found")
+
+var errWrapped = fmt.Errorf("globalstate: %w", ErrNotFound)
+
+// Blank compile-time assertions hold no state.
+var _ fmt.Stringer = stringable{}
+
+// Constants are not vars.
+const limit = 42
+
+//sbr6:allow globalstate lookup table written once at init and read-only after
+var sanctioned = map[string]int{"a": 1}
+
+type stringable struct{}
+
+func (stringable) String() string { return "stringable" }
+
+func localsAreFine() int {
+	local := limit
+	return local + counter
+}

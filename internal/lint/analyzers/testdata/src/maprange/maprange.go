@@ -1,0 +1,88 @@
+// Fixture for the maprange analyzer: map iteration on a sim path is
+// flagged unless the keys are collected and sorted, or the loop carries
+// an //sbr6:commutative annotation with a reason.
+package maprange
+
+import "sort"
+
+func plainMapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+func keyOnlyRange(m map[int]bool) {
+	for k := range m { // want `range over map`
+		_ = k
+	}
+}
+
+func sliceRangeIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectValuesThenSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotatedCommutative(m map[string]int) int {
+	total := 0
+	//sbr6:commutative addition is order-free
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotatedTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //sbr6:commutative addition is order-free
+		total += v
+	}
+	return total
+}
+
+func commutativeMissingReason(m map[string]int) int {
+	total := 0
+	//sbr6:commutative
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+type namedMap map[string]int
+
+func namedMapType(m namedMap) {
+	for k := range m { // want `range over map`
+		_ = k
+	}
+}

@@ -1,0 +1,30 @@
+// Fixture reproducing the shape of the historical n.probes seed
+// nondeterminism: PR 2's cross-medium differential suite caught probe
+// acks being resolved by iterating the probes map when flow ids
+// collided, so which probe an ack matched depended on map iteration
+// order and Results differed run to run on the same seed. The fix
+// linked acks directly (sentData.probe); this fixture proves the
+// analyzer would have flagged the original code statically.
+package probesregression
+
+type probe struct {
+	flowID uint32
+	seq    uint32
+	acked  bool
+}
+
+type node struct {
+	probes map[uint64]*probe
+}
+
+// ackProbe is the bug shape: first match wins, and with colliding flow
+// ids "first" is whatever order the runtime deals the map out in.
+func (n *node) ackProbe(flowID uint32) *probe {
+	for _, p := range n.probes { // want `range over map`
+		if p.flowID == flowID && !p.acked {
+			p.acked = true
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Fixture for the simrng analyzer: minting RNG streams and importing
+// non-replayable entropy sources on a sim path are flagged; consuming a
+// scenario-owned stream is the sanctioned pattern.
+package simrng
+
+import (
+	crand "crypto/rand" // want `crypto/rand on a sim path`
+	"math/rand"
+)
+
+func mintsStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New mints an RNG stream` // want `rand\.NewSource mints an RNG stream`
+}
+
+func consumesOwnedStreamIsFine(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func realEntropy(buf []byte) {
+	crand.Read(buf)
+}
+
+func annotatedOwner(seed int64) *rand.Rand {
+	//sbr6:allow simrng seed-derived stream owned by this fixture's scenario
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,52 @@
+// Fixture for the walltime analyzer: host-clock reads and the global
+// math/rand stream are flagged; virtual-duration arithmetic and
+// explicit seeded generators are not.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func readsClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func sleeps() {
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+}
+
+func arms() {
+	_ = time.After(time.Second)     // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)  // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func durationArithmeticIsFine(d time.Duration) time.Duration {
+	return 3*d + 500*time.Millisecond
+}
+
+func virtualTimeMathIsFine(a, b time.Time) time.Duration {
+	return a.Sub(b)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the process-global RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle draws from the process-global RNG`
+}
+
+func seededStreamMethodsAreFine(rng *rand.Rand) int {
+	return rng.Intn(10) + int(rng.Int63())
+}
+
+func allowedWithReason(start time.Time) time.Duration {
+	//sbr6:allow walltime progress reporting only, never enters sim state
+	return time.Since(start)
+}

@@ -1,0 +1,170 @@
+// Package unitchecker implements the tool side of the `go vet -vettool`
+// protocol against the standard library alone, mirroring what
+// golang.org/x/tools/go/analysis/unitchecker does (that module is not
+// available in this build environment). The go command compiles each
+// package, writes a JSON config describing it — source files, canonical
+// import map, and export-data files for every dependency — and invokes
+// the tool with the config path as the sole argument; the tool
+// type-checks from those inputs, runs its analyzers, prints findings to
+// stderr and signals them with exit status 2.
+//
+// The config layout is cmd/go/internal/work's vetConfig (stable since Go
+// 1.10); dependency export data is read with the stdlib gc importer via
+// go/importer's lookup hook, so no tools module is needed.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"sbr6/internal/lint/analysis"
+)
+
+// Config mirrors cmd/go's vetConfig JSON. Fields the suite has no use
+// for (NonGoFiles, module identity, facts) are listed for completeness
+// and ignored.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the analyzers against the package described by cfgFile
+// and returns the process exit code: 0 clean, 1 tool failure, 2 findings
+// (the same contract the go command expects from vet).
+func Run(cfgFile string, analyzers []*analysis.Analyzer, scoped func(importPath string) bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbr6lint: reading config: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sbr6lint: parsing config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command caches our (empty — the suite is fact-free) facts
+	// output keyed by package; always produce it so unchanged packages
+	// are never re-analyzed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "sbr6lint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || !scoped(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "sbr6lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "sbr6lint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info)
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "sbr6lint: analyzer %s: %v\n", a.Name, err)
+			return 1
+		}
+		for _, d := range pass.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "%s: %s [sbr6lint/%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// typeCheck type-checks the package using the export data the go
+// command supplied for each dependency.
+func typeCheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, nil, fmt.Errorf("gc importer does not support ImportFrom")
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{
+		Importer: &mappedImporter{cfg: cfg, gc: gc},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// mappedImporter resolves source-level import paths through the config's
+// canonical ImportMap before handing them to the gc export-data importer.
+type mappedImporter struct {
+	cfg *Config
+	gc  types.ImporterFrom
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if canonical, ok := m.cfg.ImportMap[path]; ok {
+		path = canonical
+	}
+	return m.gc.ImportFrom(path, m.cfg.Dir, 0)
+}

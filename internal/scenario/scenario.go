@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"sbr6/internal/audit"
@@ -209,22 +210,43 @@ func Validate(cfg Config) error {
 			return fmt.Errorf("scenario: flow %d: negative start offset %v: %w", i, f.Start, ErrConfig)
 		}
 	}
-	for name, idx := range cfg.Preload {
-		if idx < 0 || idx >= cfg.N {
+	// Validation iterates map keys in sorted order so the FIRST invalid
+	// entry reported is the same on every run: a config with several bad
+	// entries must not produce a different error message per invocation
+	// (the error text is part of the deterministic surface — harnesses
+	// diff it).
+	names := make([]string, 0, len(cfg.Preload))
+	for name := range cfg.Preload {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if idx := cfg.Preload[name]; idx < 0 || idx >= cfg.N {
 			return fmt.Errorf("scenario: preload %q references node %d: %w", name, idx, ErrConfig)
 		}
 	}
-	for idx := range cfg.Names {
+	for _, idx := range sortedIntKeys(cfg.Names) {
 		if idx < 0 || idx >= cfg.N {
 			return fmt.Errorf("scenario: name registration references node %d: %w", idx, ErrConfig)
 		}
 	}
-	for idx := range cfg.Behaviors {
+	for _, idx := range sortedIntKeys(cfg.Behaviors) {
 		if idx < 0 || idx >= cfg.N {
 			return fmt.Errorf("scenario: behavior references node %d: %w", idx, ErrConfig)
 		}
 	}
 	return nil
+}
+
+// sortedIntKeys returns m's keys in increasing order, for deterministic
+// iteration over index-keyed config maps.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // effectiveRange is the radio range the medium will actually use (it
@@ -376,7 +398,7 @@ func Build(cfg Config) (*Scenario, error) {
 	}
 
 	// Placement.
-	placeRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7f4a7c15))
+	placeRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7f4a7c15)) //sbr6:allow simrng seed-derived placement stream owned by Build
 	var positions []geom.Point
 	switch cfg.Placement {
 	case PlaceGrid:
@@ -415,7 +437,7 @@ func Build(cfg Config) (*Scenario, error) {
 	sc.bootHorizon = boot.Horizon(sc.bootOffsets, cfg.Protocol.DAD.ObjectionWindow(), cfg.BootStagger+2*time.Second)
 
 	// Identities. The DNS key pair is node 0's.
-	dnsIdent, err := identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000)), cfg.Names[0])
+	dnsIdent, err := identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000)), cfg.Names[0]) //sbr6:allow simrng seed-derived DNS keygen stream owned by Build
 	if err != nil {
 		return nil, err
 	}
@@ -425,12 +447,12 @@ func Build(cfg Config) (*Scenario, error) {
 		if i == 0 {
 			ident = dnsIdent
 		} else {
-			ident, err = identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000+int64(i))), cfg.Names[i])
+			ident, err = identity.New(cfg.Protocol.Suite, rand.New(rand.NewSource(cfg.Seed+1000+int64(i))), cfg.Names[i]) //sbr6:allow simrng seed-derived per-node keygen stream owned by Build
 			if err != nil {
 				return nil, err
 			}
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + 9000 + int64(i)))
+		rng := rand.New(rand.NewSource(cfg.Seed + 9000 + int64(i))) //sbr6:allow simrng seed-derived per-node protocol stream owned by Build
 		n := core.New(s, medium, radio.NodeID(i), ident, dnsIdent.Pub, cfg.Protocol, rng, nil)
 		if i == 0 {
 			dcfg := cfg.DNS
@@ -467,6 +489,7 @@ func Build(cfg Config) (*Scenario, error) {
 	}
 
 	// Permanent DNS bindings exist before the network forms.
+	//sbr6:commutative each preload writes a distinct name into the DNS table
 	for name, idx := range cfg.Preload {
 		sc.DNSSrv.Preload(name, sc.Nodes[idx].Addr())
 	}
@@ -518,14 +541,14 @@ func buildTrack(cfg Config, start geom.Point, i int) mobility.Track {
 			Region: cfg.Area,
 			Speed:  m.MaxSpeed,
 			Epoch:  m.Epoch,
-		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
+		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i)))) //sbr6:allow simrng seed-derived per-node walk track stream
 	case m.Waypoint:
 		return mobility.NewWaypoint(mobility.WaypointConfig{
 			Region:   cfg.Area,
 			MinSpeed: m.MinSpeed,
 			MaxSpeed: m.MaxSpeed,
 			Pause:    m.Pause,
-		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i))))
+		}, start, rand.New(rand.NewSource(cfg.Seed+20000+int64(i)))) //sbr6:allow simrng seed-derived per-node waypoint track stream
 	default:
 		return mobility.Static(start)
 	}
@@ -602,6 +625,7 @@ func (sc *Scenario) Run() *Result {
 
 	// Aggregate.
 	lat := trace.NewMetrics()
+	//sbr6:commutative order-free sums plus one distinct PerFlow key per flow
 	for fi, st := range sc.flowStats {
 		res.Sent += st.sent
 		res.Delivered += st.delivered

@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateErrorDeterministic is the regression test for the
+// map-iteration nondeterminism sbr6lint's maprange analyzer surfaced in
+// Validate: with several invalid entries in the index-keyed config maps,
+// the reported first error used to be whichever entry map iteration
+// dealt out first, so the same bad config produced different error text
+// run to run. Validation now iterates keys in sorted order: the
+// smallest offending key wins, every time.
+func TestValidateErrorDeterministic(t *testing.T) {
+	base := DefaultConfig()
+	base.Duration = time.Second
+
+	t.Run("names", func(t *testing.T) {
+		cfg := base
+		cfg.Names = map[int]string{cfg.N + 3: "c.example.", cfg.N + 9: "a.example.", cfg.N + 7: "b.example."}
+		assertStableError(t, cfg, "references node 28")
+	})
+	t.Run("behaviors", func(t *testing.T) {
+		cfg := base
+		cfg.Behaviors = nil // Behaviors values may be nil; only keys are validated
+		cfg.Names = nil
+		cfg.Preload = map[string]int{"z.example.": -5, "a.example.": 99, "m.example.": -1}
+		assertStableError(t, cfg, `preload "a.example." references node 99`)
+	})
+}
+
+// assertStableError validates cfg many times and insists every failure
+// is byte-identical and names the smallest offending key.
+func assertStableError(t *testing.T, cfg Config, wantSub string) {
+	t.Helper()
+	first := ""
+	for i := 0; i < 50; i++ {
+		err := Validate(cfg)
+		if err == nil {
+			t.Fatal("config with out-of-range entries must not validate")
+		}
+		if i == 0 {
+			first = err.Error()
+			if !strings.Contains(first, wantSub) {
+				t.Fatalf("first error %q does not name the smallest offending key (want substring %q)", first, wantSub)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("validation error text changed between runs of the same config:\n run 0: %s\n run %d: %s", first, i, err.Error())
+		}
+	}
+}

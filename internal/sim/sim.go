@@ -156,7 +156,7 @@ type Simulator struct {
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed))} //sbr6:allow simrng the root seeded stream every sim consumer draws from
 }
 
 // Now returns the current virtual time.

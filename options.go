@@ -89,8 +89,8 @@ func (s Suite) internal() (identity.Suite, error) {
 // default motion is random waypoint, with Walk switching to a bounded
 // random walk (direction re-drawn every Epoch at MaxSpeed).
 type Mobility struct {
-	MinSpeed float64 // m/s (waypoint only)
-	MaxSpeed float64 // m/s
+	MinSpeed float64       // m/s (waypoint only)
+	MaxSpeed float64       // m/s
 	Pause    time.Duration // waypoint pause at each destination
 	Walk     bool          // bounded random walk instead of waypoint
 	Epoch    time.Duration // walk leg length (default 10s)
