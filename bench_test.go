@@ -339,15 +339,20 @@ func benchmarkScale(b *testing.B, n int) {
 		name string
 		kind radio.IndexKind
 	}{{"naive", radio.IndexNaive}, {"grid", radio.IndexGrid}} {
-		b.Run(mode.name, func(b *testing.B) {
-			nw := scalebench.BuildScaleNetwork(n, mode.kind, 1)
-			nw.Round() // warm mobility legs and the index
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				nw.Round()
-			}
-		})
+		for _, pool := range []struct {
+			name   string
+			pooled bool
+		}{{"nopool", false}, {"pool", true}} {
+			b.Run(mode.name+"/"+pool.name, func(b *testing.B) {
+				nw := scalebench.BuildScaleNetwork(n, mode.kind, pool.pooled, 1)
+				nw.Round() // warm mobility legs, the index and the pools
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					nw.Round()
+				}
+			})
+		}
 	}
 }
 
@@ -355,6 +360,35 @@ func BenchmarkScaleNodes250(b *testing.B)   { benchmarkScale(b, 250) }
 func BenchmarkScaleNodes1000(b *testing.B)  { benchmarkScale(b, 1000) }
 func BenchmarkScaleNodes4000(b *testing.B)  { benchmarkScale(b, 4000) }
 func BenchmarkScaleNodes10000(b *testing.B) { benchmarkScale(b, 10000) }
+
+// --- scale: the pooled zero-alloc wire path vs the allocating one ---
+//
+// The flood workload with a real packet encode per broadcast (see
+// scalebench.BuildWireNetwork): pooled frames + shared broadcast delivery
+// against the historical allocate-per-frame, event-per-receiver path. The
+// acceptance bar for the pooled path is >= 5x fewer allocs/op at 4000
+// nodes; cmd/sbrbench -scale -json measures the same cells (as exact
+// allocs/op) into BENCH_scale.json.
+
+func benchmarkWireScale(b *testing.B, n int) {
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"nopool", false}, {"pool", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			wn := scalebench.BuildWireNetwork(n, mode.pooled, 1)
+			wn.Round() // warm pools, free lists, grid, mobility legs
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wn.Round()
+			}
+		})
+	}
+}
+
+func BenchmarkWireScale1000(b *testing.B) { benchmarkWireScale(b, 1000) }
+func BenchmarkWireScale4000(b *testing.B) { benchmarkWireScale(b, 4000) }
 
 // --- scale: route-record verification with and without the memo cache ---
 //

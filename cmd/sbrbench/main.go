@@ -129,15 +129,22 @@ func runTrend(args []string, threshold float64) int {
 }
 
 // runScaleSweep measures the constant-density flood workload (naive vs
-// grid medium), the verification workload (direct vs memo cache) and the
-// formation workload (serial vs per-cell admission) at up to 10000 nodes,
-// reporting wall time per round and the speedups.
+// grid medium), the wire-path workload (pooled vs allocating frames,
+// reported as exact allocations per broadcast), the verification workload
+// (direct vs memo cache) and the formation workload (serial vs per-cell
+// admission) at up to 10000 nodes, reporting wall time per round and the
+// speedups.
 func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 	sizes := []int{250, 1000, 4000, 10000}
 	var results []scalebench.ScaleResult
 	for _, n := range sizes {
 		for _, kind := range []radio.IndexKind{radio.IndexNaive, radio.IndexGrid} {
 			results = append(results, scalebench.RunScale(n, kind, seed, rounds, time.Now))
+		}
+	}
+	for _, n := range sizes {
+		for _, pooled := range []bool{false, true} {
+			results = append(results, scalebench.RunWire(n, pooled, seed, rounds, time.Now))
 		}
 	}
 	for _, n := range sizes {
@@ -170,6 +177,8 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 	}
 	radioT := trace.NewTable("radio medium scale sweep (wall ms per flood round)",
 		"nodes", "naive", "grid", "speedup", "mean degree")
+	wireT := trace.NewTable("wire path scale sweep (heap allocations per broadcast)",
+		"nodes", "nopool", "pool", "reduction", "wall ms/round")
 	cryptoT := trace.NewTable("verification scale sweep (wall ms per verify round)",
 		"nodes", "nocache", "cache", "speedup", "crypto ops saved")
 	formT := trace.NewTable("formation scale sweep (wall ms to fully addressed)",
@@ -181,6 +190,11 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 			radioT.Add(fmt.Sprint(a.Nodes),
 				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
 				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS), fmt.Sprintf("%.1f", a.Degree))
+		case "wire":
+			wireT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.AllocsPerOp), fmt.Sprintf("%.2f", b.AllocsPerOp),
+				fmt.Sprintf("%.1fx", (1+a.AllocsPerOp)/(1+b.AllocsPerOp)),
+				fmt.Sprintf("%.1f -> %.1f", a.WallMS, b.WallMS))
 		case "crypto":
 			cryptoT.Add(fmt.Sprint(a.Nodes),
 				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
@@ -194,6 +208,7 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 		}
 	}
 	fmt.Println(radioT.String())
+	fmt.Println(wireT.String())
 	fmt.Println(cryptoT.String())
 	fmt.Println(formT.String())
 }

@@ -51,6 +51,24 @@
 // other); WithBootStagger shortens the serial DAD schedule that otherwise
 // dominates large bootstraps.
 //
+// # The pooled wire path
+//
+// Frame transmission is allocation-free by default: encoded frames come
+// from per-medium size-class buffer pools, every broadcast shares one
+// encoded frame across all its receivers in a single batched delivery
+// event, and the transmit/delivery bookkeeping itself is recycled. The
+// pooled path is observationally identical to the allocating one — the
+// differential suite holds per-seed Results byte-for-byte equal with
+// pooling on, off, and on with poisoned reuse — so it is purely a
+// performance property. WithFramePool(false) restores the allocating
+// path (honest baselines, allocation-profile comparisons).
+//
+// The pools are single-threaded by construction: each radio.Medium owns
+// its own pool and free lists, never shared, which is exactly the
+// precondition the batch runner's sharding relies on — concurrent seed
+// replicates each build their own Simulator and Medium and therefore
+// their own pools, with no cross-goroutine state.
+//
 // # Bootstrap admission
 //
 // Network formation is scheduled by an admission policy (internal/boot).

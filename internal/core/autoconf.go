@@ -77,10 +77,9 @@ func (n *Node) sendToUnconfigured(rr []ipv6.Addr, dst ipv6.Addr, msg wire.Messag
 // consumes it. This is the bootstrap-safe path used before routes exist.
 func (n *Node) floodToDNS(msg wire.Message) {
 	pkt := &wire.Packet{Src: n.ident.Addr, Dst: ipv6.DNS1, TTL: n.cfg.TTL, Msg: msg}
-	raw := wire.Encode(pkt)
-	n.dnsFloods.Seen(pkt.Src, contentKey(raw))
-	n.account(pkt, len(raw))
-	n.medium.Broadcast(n.link, raw)
+	raw := n.encodeFrame(pkt)
+	n.dnsFloods.Seen(pkt.Src, contentKey(raw)) // hashed before ownership transfers
+	n.medium.BroadcastFrame(n.link, raw)
 }
 
 func (n *Node) handleDNSFlood(pkt *wire.Packet, raw []byte) {

@@ -254,10 +254,61 @@ func TestMetricsByteAccountingConsistency(t *testing.T) {
 	for i, n := range tn.nodes {
 		m := n.Metrics()
 		total := m.Get("tx.bytes.total")
-		split := m.Get("tx.bytes.control") + m.Get("tx.bytes.data")
+		split := m.Get("tx.bytes.control") + m.Get("tx.bytes.data") + m.Get("tx.bytes.raw")
 		if total != split {
-			t.Fatalf("node %d: total %v != control+data %v", i, total, split)
+			t.Fatalf("node %d: total %v != control+data+raw %v", i, total, split)
 		}
+	}
+}
+
+// RawBroadcast used to add its bytes to tx.bytes.total without any
+// category breakdown, silently breaking total == control + data for any
+// node that replays captured frames. The raw bytes now carry their own
+// counter folded into the total.
+func TestRawBroadcastByteAccounting(t *testing.T) {
+	tn := chain(t, fastConfig(true), 1, nil)
+	tn.bootstrap(t)
+	n := tn.nodes[1]
+	before := n.Metrics().Get("tx.bytes.total")
+	frame := []byte{0xde, 0xad, 0xbe, 0xef}
+	n.RawBroadcast(frame)
+	n.RawBroadcast(frame) // replayers retransmit the same capture
+	tn.s.RunFor(time.Second)
+	m := n.Metrics()
+	if got := m.Get("tx.bytes.raw"); got != float64(2*len(frame)) {
+		t.Fatalf("tx.bytes.raw = %v, want %d", got, 2*len(frame))
+	}
+	if got := m.Get("tx.bytes.total") - before; got != float64(2*len(frame)) {
+		t.Fatalf("raw bytes not folded into total: delta %v", got)
+	}
+	total := m.Get("tx.bytes.total")
+	split := m.Get("tx.bytes.control") + m.Get("tx.bytes.data") + m.Get("tx.bytes.raw")
+	if total != split {
+		t.Fatalf("total %v != control+data+raw %v", total, split)
+	}
+}
+
+// A source-routed send that cannot resolve its next hop encodes into a
+// pooled frame and then never transmits; the frame must go straight back
+// to the pool (the whole path is synchronous, so the counters are exact).
+func TestNoNeighborReleasesFrame(t *testing.T) {
+	tn := chain(t, fastConfig(true), 2, nil)
+	tn.bootstrap(t)
+	tn.s.RunFor(time.Second) // drain in-flight bootstrap frames
+	n := tn.nodes[1]
+	before := tn.medium.PoolStats()
+	ghost := ipv6.SiteLocal(0, 0xfeedface)
+	n.SendAlong([]ipv6.Addr{ghost}, tn.nodes[2].Addr(), &wire.Data{Payload: []byte("x")})
+	after := tn.medium.PoolStats()
+	if n.Metrics().Get("tx.no_neighbor") == 0 {
+		t.Fatal("send did not take the no-neighbor path")
+	}
+	if after.Gets != before.Gets+1 || after.Puts != before.Puts+1 {
+		t.Fatalf("frame not released on the no-neighbor path: gets %d->%d puts %d->%d",
+			before.Gets, after.Gets, before.Puts, after.Puts)
+	}
+	if after.Live != before.Live {
+		t.Fatalf("live frames leaked: %d -> %d", before.Live, after.Live)
 	}
 }
 

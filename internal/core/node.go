@@ -145,6 +145,10 @@ type Node struct {
 
 	dns *dnssrv.Server // non-nil only on the DNS node
 
+	// enc amortizes the codec's scratch state across this node's
+	// transmissions (see wire.Encoder); single-threaded like the node.
+	enc wire.Encoder
+
 	autoconf   *ndp.Initiator
 	configured bool
 
@@ -558,17 +562,31 @@ func (n *Node) account(pkt *wire.Packet, size int) {
 	n.met.Inc("tx.bytes.total", float64(size))
 }
 
+// encodeFrame serializes pkt into a frame checked out of the medium's
+// pool — sized exactly via the counting EncodedSize, so the append never
+// grows the buffer — and accounts the transmitted bytes. The caller owns
+// the returned frame and must hand it to BroadcastFrame/UnicastFrame or
+// return it with ReleaseFrame on every non-transmitting path.
+func (n *Node) encodeFrame(pkt *wire.Packet) []byte {
+	raw := n.enc.AppendEncode(n.medium.Frame(n.enc.Size(pkt)), pkt)
+	n.account(pkt, len(raw))
+	return raw
+}
+
 // broadcastPacket encodes and broadcasts a packet frame.
 func (n *Node) broadcastPacket(pkt *wire.Packet) {
-	raw := wire.Encode(pkt)
-	n.account(pkt, len(raw))
-	n.medium.Broadcast(n.link, raw)
+	n.medium.BroadcastFrame(n.link, n.encodeFrame(pkt))
 }
 
 // RawBroadcast transmits pre-encoded bytes unmodified; the replay attacker
-// uses it to retransmit captured frames.
+// uses it to retransmit captured frames. The bytes count toward
+// tx.bytes.total like any other transmission and are additionally broken
+// out as tx.bytes.raw, preserving the accounting invariant
+// total == control + data + raw. The frame stays caller-owned (attackers
+// replay the same capture repeatedly), so it is never pooled.
 func (n *Node) RawBroadcast(raw []byte) {
 	n.met.Inc("tx.bytes.total", float64(len(raw)))
+	n.met.Inc("tx.bytes.raw", float64(len(raw)))
 	n.met.Add1("tx.raw")
 	n.medium.Broadcast(n.link, raw)
 }
@@ -609,21 +627,21 @@ func (n *Node) sendSourceRouted(pkt *wire.Packet, onFail func(next ipv6.Addr)) {
 		n.met.Add1("tx.route_exhausted")
 		return
 	}
-	raw := wire.Encode(pkt)
-	n.account(pkt, len(raw))
+	raw := n.encodeFrame(pkt)
 	if next == pkt.Dst && lastHopBroadcast(pkt.Msg) {
-		n.medium.Broadcast(n.link, raw)
+		n.medium.BroadcastFrame(n.link, raw)
 		return
 	}
 	nid, known := n.neighbors[next]
 	if !known {
 		n.met.Add1("tx.no_neighbor")
+		n.medium.ReleaseFrame(raw) // encoded but never transmitted
 		if onFail != nil {
 			onFail(next)
 		}
 		return
 	}
-	n.medium.Unicast(n.link, nid, raw, func(acked bool) {
+	n.medium.UnicastFrame(n.link, nid, raw, func(acked bool) {
 		if !acked && onFail != nil {
 			onFail(next)
 		}

@@ -1,0 +1,207 @@
+package radio_test
+
+// Pooled wire path differential suite: Config.FramePool must be a pure
+// allocation optimization. For every scenario in the equivalence matrix
+// and every seed, a pooled run — shared broadcast frames, size-class
+// buffer recycling, batched delivery events — must produce a Result
+// byte-for-byte identical to the allocating run: same receiver sets, same
+// delivery ordering, same RNG consumption, same counters, same attack
+// detections. The poison variant re-runs the comparison with released
+// frames overwritten, so any use-after-release on the pooled path breaks
+// the equality instead of silently reading stale bytes.
+//
+// The leak suite then drives the frame lifecycle through every exit of
+// the transmit path — queue drops, down transmitters, zero-receiver
+// broadcasts, failed unicast retries, lossy deliveries — and holds the
+// pool's live count at zero once the simulator drains: every checkout has
+// exactly one release, whatever path the frame took.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sbr6/internal/attack"
+	"sbr6/internal/geom"
+	"sbr6/internal/pool"
+	"sbr6/internal/radio"
+	"sbr6/internal/scenario"
+	"sbr6/internal/sim"
+)
+
+// runWithPool builds and runs one configuration with the pooled wire path
+// forced on or off (poison applies to pooled runs only).
+func runWithPool(t *testing.T, mk func() scenario.Config, seed int64, pooled, poison bool) *scenario.Result {
+	t.Helper()
+	cfg := mk()
+	cfg.Seed = seed
+	cfg.Radio.FramePool = pooled
+	cfg.Radio.PoisonFrames = poison
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatalf("build (pooled=%v, seed=%d): %v", pooled, seed, err)
+	}
+	return sc.Run()
+}
+
+func TestFramePoolEquivalentToUnpooled(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	for name, mk := range equivalenceMatrix() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range seeds {
+				plain := runWithPool(t, mk, seed, false, false)
+				pooled := runWithPool(t, mk, seed, true, false)
+				if !reflect.DeepEqual(plain, pooled) {
+					t.Errorf("seed %d: pooled and unpooled runs diverged:\nunpooled: %v\n  pooled: %v",
+						seed, plain, pooled)
+				}
+			}
+		})
+	}
+}
+
+// The poisoned comparison is the use-after-release detector: every
+// released frame is overwritten before reuse, so a receiver or retry path
+// that touches a frame after the medium reclaimed it decodes garbage and
+// the Results split. One scenario per matrix entry suffices — the frame
+// lifecycle does not depend on the seed.
+func TestPoisonedFramePoolEquivalent(t *testing.T) {
+	for name, mk := range equivalenceMatrix() {
+		t.Run(name, func(t *testing.T) {
+			plain := runWithPool(t, mk, 3, false, false)
+			poisoned := runWithPool(t, mk, 3, true, true)
+			if !reflect.DeepEqual(plain, poisoned) {
+				t.Errorf("poisoned pooled run diverged from unpooled:\nunpooled: %v\npoisoned: %v",
+					plain, poisoned)
+			}
+		})
+	}
+}
+
+// An adversarial network with a replay attacker holds the byte-accounting
+// invariant on every node: raw replayed frames carry their own counter
+// and fold into the total alongside control and data bytes.
+func TestReplayScenarioByteAccounting(t *testing.T) {
+	mk := equivalenceMatrix()["battlefield"]
+	cfg := mk()
+	cfg.Seed = 2
+	cfg.Behaviors[14] = &attack.Replayer{}
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Run()
+	raw := 0.0
+	for i, n := range sc.Nodes {
+		m := n.Metrics()
+		total := m.Get("tx.bytes.total")
+		split := m.Get("tx.bytes.control") + m.Get("tx.bytes.data") + m.Get("tx.bytes.raw")
+		if total != split {
+			t.Errorf("node %d: tx.bytes.total %v != control+data+raw %v", i, total, split)
+		}
+		raw += m.Get("tx.bytes.raw")
+	}
+	if raw == 0 {
+		t.Fatal("replayer transmitted no raw bytes; the invariant was not exercised")
+	}
+}
+
+// poolChurnNet is a bare medium exercising every frame-lifecycle exit:
+// nodes 0..7 cluster in range of each other, node 8 sits isolated beyond
+// range (unicasts to it exhaust retries), node 9 flaps down (transmit-time
+// and completion-time drops).
+func poolChurnNet(t *testing.T) (*sim.Simulator, *radio.Medium) {
+	t.Helper()
+	s := sim.New(11)
+	cfg := radio.DefaultConfig()
+	cfg.LossRate = 0.3
+	cfg.UnicastRetries = 2
+	cfg.MaxQueueDelay = 2 * time.Millisecond // bursts overflow the queue
+	cfg.BroadcastJitter = time.Millisecond
+	cfg.PoisonFrames = true
+	m := radio.New(s, cfg)
+	for i := 0; i < 8; i++ {
+		p := geom.Point{X: float64(i) * 20, Y: 0}
+		m.AddNode(radio.NodeID(i), func(sim.Time) geom.Point { return p }, radio.HandlerFunc(func(radio.NodeID, []byte) {}))
+	}
+	far := geom.Point{X: 1e6, Y: 1e6}
+	m.AddNode(8, func(sim.Time) geom.Point { return far }, radio.HandlerFunc(func(radio.NodeID, []byte) {}))
+	flappy := geom.Point{X: 80, Y: 10}
+	m.AddNode(9, func(sim.Time) geom.Point { return flappy }, radio.HandlerFunc(func(radio.NodeID, []byte) {}))
+	return s, m
+}
+
+func TestFramePoolLeakFree(t *testing.T) {
+	s, m := poolChurnNet(t)
+	rounds, perNode := 40, 6
+	for r := 0; r < rounds; r++ {
+		m.SetDown(9, r%2 == 0)
+		for i := 0; i < 8; i++ {
+			from := radio.NodeID(i)
+			for k := 0; k < perNode; k++ {
+				f := m.Frame(64 + 32*k)
+				f = append(f, fmt.Sprintf("frame %d/%d/%d", r, i, k)...)
+				switch k % 4 {
+				case 0:
+					m.BroadcastFrame(from, f)
+				case 1:
+					m.UnicastFrame(from, radio.NodeID((i+1)%8), f, nil) // in range, lossy
+				case 2:
+					m.UnicastFrame(from, 8, f, func(bool) {}) // out of range: retries exhaust
+				case 3:
+					m.UnicastFrame(from, 9, f, nil) // flapping receiver
+				}
+			}
+		}
+		// Isolated node broadcasts into the void: zero-receiver completes.
+		v := m.Frame(16)
+		m.BroadcastFrame(8, append(v, "void"...))
+		// Flapping node transmits while down: transmit-time queue drop.
+		d := m.Frame(16)
+		m.BroadcastFrame(9, append(d, "down"...))
+		s.Run() // drain everything in flight before the next burst
+	}
+	st := m.PoolStats()
+	if st.Live != 0 {
+		t.Fatalf("pool leak: %d frames still live after drain (gets %d, puts %d)",
+			st.Live, st.Gets, st.Puts)
+	}
+	want := uint64(rounds * (8*perNode + 2))
+	if st.Gets != want {
+		t.Fatalf("gets = %d, want %d", st.Gets, want)
+	}
+	if st.HighWater > 8*perNode+2 {
+		t.Fatalf("high water %d exceeds one burst's in-flight bound %d", st.HighWater, 8*perNode+2)
+	}
+	// Recycling must actually happen: steady state draws from the free
+	// lists, not the allocator.
+	if st.Misses*4 > st.Gets {
+		t.Fatalf("pool barely recycles: %d misses over %d gets", st.Misses, st.Gets)
+	}
+	if stats := m.Stats(); stats.QueueDrops == 0 || stats.Retries == 0 || stats.UnicastFails == 0 || stats.LostFrames == 0 {
+		t.Fatalf("churn did not cover the drop paths: %+v", stats)
+	}
+}
+
+// A caller that encodes a frame and then abandons the transmission must
+// hand the buffer back; ReleaseFrame must also tolerate the pool being
+// off entirely.
+func TestReleaseFrameWithoutTransmit(t *testing.T) {
+	s := sim.New(1)
+	m := radio.New(s, radio.DefaultConfig())
+	f := m.Frame(100)
+	m.ReleaseFrame(f)
+	st := m.PoolStats()
+	if st.Gets != 1 || st.Puts != 1 || st.Live != 0 {
+		t.Fatalf("release not accounted: %+v", st)
+	}
+
+	off := radio.DefaultConfig()
+	off.FramePool = false
+	m2 := radio.New(sim.New(1), off)
+	m2.ReleaseFrame(m2.Frame(100)) // plain allocation; release is a no-op
+	if st := m2.PoolStats(); st != (pool.Stats{}) {
+		t.Fatalf("disabled pool reported stats: %+v", st)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sbr6/internal/geom"
+	"sbr6/internal/pool"
 	"sbr6/internal/sim"
 )
 
@@ -32,7 +33,12 @@ type NodeID int
 // Handler receives link-layer frames addressed to (or overheard by) a node.
 type Handler interface {
 	// Deliver is invoked once per received frame with the transmitter's
-	// NodeID and the payload. The payload slice must not be mutated.
+	// NodeID and the payload. The payload slice must not be mutated and
+	// must not be retained past Deliver's return: under the pooled wire
+	// path one encoded frame is shared by every receiver of a broadcast
+	// and recycled once the last delivery completes. A handler that needs
+	// the bytes later must copy them (wire.Decode already copies every
+	// variable-length field, so decoding counts as copying).
 	Deliver(from NodeID, payload []byte)
 }
 
@@ -86,6 +92,23 @@ type Config struct {
 	// Index selects the neighbor-index implementation; the zero value
 	// auto-picks by network size. Results are identical for every kind.
 	Index IndexKind
+
+	// FramePool enables the pooled zero-alloc wire path: frame buffers
+	// come from per-medium size-class pools (Frame/ReleaseFrame), one
+	// encoded frame is shared across every receiver of a broadcast and
+	// released after the last delivery, and the transmit/delivery
+	// bookkeeping itself (jobs, delivery batches, event structs) is
+	// recycled. Pooled and unpooled runs are byte-for-byte identical —
+	// same receiver sets, delivery ordering and RNG consumption; the
+	// differential suite in this package is the proof. The zero value is
+	// off (the honest allocation baseline); DefaultConfig turns it on.
+	FramePool bool
+
+	// PoisonFrames (debug) fills every released frame with a marker byte
+	// so a handler that retained a frame slice past Deliver's return sees
+	// garbage instead of silently reading recycled memory. Only
+	// meaningful with FramePool; the retention tests run under it.
+	PoisonFrames bool
 }
 
 // DefaultConfig mimics a 2 Mb/s 802.11-style radio with a 250 m range.
@@ -97,6 +120,7 @@ func DefaultConfig() Config {
 		PropDelay:       5 * time.Microsecond,
 		BroadcastJitter: 2 * time.Millisecond,
 		MaxQueueDelay:   500 * time.Millisecond,
+		FramePool:       true,
 	}
 }
 
@@ -149,6 +173,14 @@ type Medium struct {
 	unboundedAt sim.Time  // instant the unbounded nodes were last re-bucketed
 	candBits    []uint64  // reusable candidate bitset (single-threaded sim)
 	nbHint      int       // size of the last Neighbors result, pre-sizes the next
+
+	// Pooled wire path state (nil/empty when Config.FramePool is off):
+	// the frame buffer pool plus free lists of transmit jobs and delivery
+	// batches. All strictly per-medium — the single-goroutine discipline
+	// the sharded-core roadmap item depends on.
+	pool        *pool.Pool
+	freeJobs    *txJob
+	freeBatches *deliveryBatch
 }
 
 // New creates a medium on the given simulator.
@@ -156,7 +188,12 @@ func New(s *sim.Simulator, cfg Config) *Medium {
 	if cfg.Range <= 0 {
 		cfg.Range = 250
 	}
-	return &Medium{sim: s, cfg: cfg, ports: make(map[NodeID]*port)}
+	m := &Medium{sim: s, cfg: cfg, ports: make(map[NodeID]*port)}
+	if cfg.FramePool {
+		m.pool = pool.New()
+		m.pool.SetPoison(cfg.PoisonFrames)
+	}
+	return m
 }
 
 // Config returns the medium's configuration.
@@ -376,19 +413,343 @@ func (m *Medium) txDuration(size int) sim.Duration {
 	return sim.Duration(float64(size*8) / m.cfg.BitrateBps * float64(time.Second))
 }
 
+// --- Frame ownership (the pooled wire path) ---
+//
+// The buffer-ownership contract:
+//
+//   - Frame(size) checks a buffer out of the medium's pool; the caller
+//     owns it and must either hand it back through BroadcastFrame /
+//     UnicastFrame (ownership transfers to the medium) or return it with
+//     ReleaseFrame on any path that never transmits.
+//   - The medium releases a transmitted frame after its last use: once
+//     every scheduled delivery of a broadcast has run, or — for unicasts
+//     — after the delivery completes and every link-layer retry is
+//     exhausted (retries retransmit the same buffer).
+//   - Receivers never own the frame: Deliver borrows it for the duration
+//     of the call (see Handler).
+//   - The legacy Broadcast/Unicast entry points keep caller ownership:
+//     the medium never releases those payloads (pre-encoded attacker
+//     replays and harness traffic stay caller-owned), though with
+//     FramePool on they still ride the recycled job/batch event path.
+//
+// With FramePool off every method below degrades to plain allocation and
+// the exact historical transmit path, which is the measured baseline the
+// nopool/pool BENCH_scale cells compare against.
+
+// Frame returns a zero-length frame buffer with capacity at least size,
+// drawn from the medium's size-class pool (or freshly allocated when
+// pooling is off). Callers encode into it with wire.AppendEncode, sizing
+// via wire.EncodedSize so the buffer never grows.
+func (m *Medium) Frame(size int) []byte {
+	return m.pool.Get(size) // nil pool degrades to make([]byte, 0, size)
+}
+
+// ReleaseFrame returns a frame obtained from Frame that will not be
+// transmitted after all. No-op when pooling is off.
+func (m *Medium) ReleaseFrame(b []byte) {
+	if m.pool != nil && b != nil {
+		m.pool.Put(b)
+	}
+}
+
+// PoolStats reports the frame pool's traffic counters (zeros when pooling
+// is off). The leak suite holds Live at zero after a drained run — every
+// transmit path, including every early drop, must release its frame.
+func (m *Medium) PoolStats() pool.Stats { return m.pool.Stats() }
+
+// txJob is the recycled state of one in-flight transmission: what the
+// legacy path captures in closures. A unicast job carries its own retry
+// counter, so retransmissions reuse both the job and the frame.
+type txJob struct {
+	m       *Medium
+	p       *port
+	payload []byte
+	release bool // medium owns payload; release after its last use
+	unicast bool
+	to      NodeID
+	retries int
+	acked   func(bool)
+	next    *txJob
+}
+
+func (m *Medium) takeJob() *txJob {
+	if j := m.freeJobs; j != nil {
+		m.freeJobs = j.next
+		j.next = nil
+		return j
+	}
+	return &txJob{m: m}
+}
+
+func (m *Medium) putJob(j *txJob) {
+	j.p, j.payload, j.acked = nil, nil, nil
+	j.next = m.freeJobs
+	m.freeJobs = j
+}
+
+// deliveryBatch carries one broadcast frame and every receiver that
+// survived the loss process to a single delivery event, replacing one
+// closure-captured event per receiver.
+type deliveryBatch struct {
+	m       *Medium
+	from    NodeID
+	frame   []byte
+	release bool
+	ports   []*port
+	next    *deliveryBatch
+}
+
+func (m *Medium) takeBatch() *deliveryBatch {
+	if b := m.freeBatches; b != nil {
+		m.freeBatches = b.next
+		b.next = nil
+		return b
+	}
+	return &deliveryBatch{m: m}
+}
+
+// runBatch fires at transmission-end + PropDelay and invokes every
+// surviving receiver's handler in the order the loss process visited them
+// (attachment order), then releases the shared frame. Receivers that went
+// down between scheduling and delivery are skipped — the same check the
+// per-receiver events made.
+func runBatch(v any) {
+	b := v.(*deliveryBatch)
+	m := b.m
+	for _, o := range b.ports {
+		if !o.down {
+			o.handler.Deliver(b.from, b.frame)
+		}
+	}
+	if b.release {
+		m.pool.Put(b.frame)
+	}
+	b.frame = nil
+	for i := range b.ports {
+		b.ports[i] = nil
+	}
+	b.ports = b.ports[:0]
+	b.next = m.freeBatches
+	m.freeBatches = b
+}
+
+func runCompleteJob(v any) { j := v.(*txJob); j.m.completeJob(j) }
+func runJobNack(v any)     { j := v.(*txJob); j.m.jobAckOutcome(j, false) }
+
+// BroadcastFrame broadcasts a frame the caller obtained from Frame;
+// ownership transfers to the medium, which releases it after the last
+// delivery (or immediately on any drop path). With pooling off it is
+// exactly Broadcast.
+func (m *Medium) BroadcastFrame(from NodeID, frame []byte) {
+	if m.pool == nil {
+		m.Broadcast(from, frame)
+		return
+	}
+	m.startJob(from, frame, true, false, 0, nil)
+}
+
+// UnicastFrame unicasts a frame the caller obtained from Frame; ownership
+// transfers to the medium, which reuses the buffer across link-layer
+// retries and releases it once the ACK outcome is final and any delivery
+// has completed. With pooling off it is exactly Unicast.
+func (m *Medium) UnicastFrame(from, to NodeID, frame []byte, acked func(bool)) {
+	if m.pool == nil {
+		m.Unicast(from, to, frame, acked)
+		return
+	}
+	m.startJob(from, frame, true, true, to, acked)
+}
+
 // Broadcast queues a link-layer broadcast from the given node. Delivery to
 // each in-range, up receiver happens after serialization + propagation,
-// subject to the loss process.
+// subject to the loss process. The payload stays caller-owned (never
+// released), so pre-encoded or shared buffers are safe here.
 func (m *Medium) Broadcast(from NodeID, payload []byte) {
+	if m.pool != nil {
+		m.startJob(from, payload, false, false, 0, nil)
+		return
+	}
 	m.transmit(from, payload, nil, nil)
 }
 
 // Unicast queues a link-layer unicast to a specific neighbour. acked, if
 // non-nil, is invoked exactly once when the (simulated) link-layer ACK
 // outcome is known: true when the frame was delivered, possibly after
-// Config.UnicastRetries retransmissions.
+// Config.UnicastRetries retransmissions. The payload stays caller-owned.
 func (m *Medium) Unicast(from, to NodeID, payload []byte, acked func(bool)) {
+	if m.pool != nil {
+		m.startJob(from, payload, false, true, to, acked)
+		return
+	}
 	m.unicastAttempt(from, to, payload, acked, m.cfg.UnicastRetries)
+}
+
+// startJob builds a recycled transmit job and runs the first attempt.
+func (m *Medium) startJob(from NodeID, payload []byte, release, unicast bool, to NodeID, acked func(bool)) {
+	p, ok := m.ports[from]
+	if !ok {
+		panic("radio: transmit from unknown node")
+	}
+	j := m.takeJob()
+	j.p, j.payload, j.release, j.unicast, j.to, j.acked = p, payload, release, unicast, to, acked
+	j.retries = 0
+	if unicast {
+		j.retries = m.cfg.UnicastRetries
+	}
+	m.transmitJob(j)
+}
+
+// transmitJob mirrors transmit exactly — same RNG draws, same counters,
+// same event timing — over recycled state instead of captured closures.
+func (m *Medium) transmitJob(j *txJob) {
+	p := j.p
+	if p.down {
+		m.stats.QueueDrops++
+		m.dropJob(j)
+		return
+	}
+	now := m.sim.Now()
+	start := now.Add(m.sim.Jitter(m.cfg.BroadcastJitter))
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if m.cfg.MaxQueueDelay > 0 && start.Sub(now) > m.cfg.MaxQueueDelay {
+		m.stats.QueueDrops++
+		m.dropJob(j)
+		return
+	}
+	dur := m.txDuration(len(j.payload))
+	p.busyUntil = start.Add(dur)
+
+	m.stats.TxFrames++
+	m.stats.TxBytes += uint64(len(j.payload))
+	if j.unicast {
+		m.stats.UnicastSent++
+	} else {
+		m.stats.BroadcastSent++
+	}
+	m.sim.DoAtArg(start.Add(dur), runCompleteJob, j)
+}
+
+// dropJob handles a transmit-time drop. Unicasts learn the outcome
+// asynchronously (one scheduled event, exactly like the legacy path's
+// deferred acked(false) — the retry draw must happen at the event, not
+// inline); broadcasts have no observer, so the frame is released and the
+// job recycled on the spot (the legacy path schedules nothing either).
+func (m *Medium) dropJob(j *txJob) {
+	if j.unicast {
+		m.sim.DoArg(0, runJobNack, j)
+		return
+	}
+	m.finishJob(j)
+}
+
+// finishJob releases a job's frame (when still medium-owned) and recycles
+// the job.
+func (m *Medium) finishJob(j *txJob) {
+	if j.release {
+		m.pool.Put(j.payload)
+	}
+	m.putJob(j)
+}
+
+// jobAckOutcome resolves one unicast attempt: retry on failure while the
+// counter lasts (retransmitting the same frame), otherwise surface the
+// final outcome and release the job. On success the delivery batch has
+// already taken over frame ownership.
+func (m *Medium) jobAckOutcome(j *txJob, ok bool) {
+	if !ok && j.retries > 0 {
+		m.stats.Retries++
+		j.retries--
+		m.transmitJob(j)
+		return
+	}
+	acked := j.acked
+	m.finishJob(j)
+	if acked != nil {
+		acked(ok)
+	}
+}
+
+// completeJob is the pooled counterpart of complete: same receiver visit
+// order, same loss draws, but broadcast survivors share one delivery
+// event and the single frame travels with it.
+func (m *Medium) completeJob(j *txJob) {
+	p := j.p
+	if p.down { // went down mid-transmission
+		if j.unicast {
+			m.jobAckOutcome(j, false)
+			return
+		}
+		m.finishJob(j)
+		return
+	}
+	now := m.sim.Now()
+	at := p.pos(now)
+	r2 := m.cfg.Range * m.cfg.Range
+
+	if j.unicast {
+		delivered := false
+		if o, ok := m.ports[j.to]; ok && o != p && !o.down && at.Dist2(o.pos(now)) <= r2 {
+			delivered = m.deliverJob(p, o, j)
+		}
+		if !delivered {
+			m.stats.UnicastFails++
+		}
+		m.jobAckOutcome(j, delivered)
+		return
+	}
+
+	b := m.takeBatch()
+	b.from = p.id
+	b.frame = j.payload
+	collect := func(o *port) {
+		if o == p || o.down || at.Dist2(o.pos(now)) > r2 {
+			return
+		}
+		if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+			m.stats.LostFrames++
+			return
+		}
+		m.stats.RxFrames++
+		b.ports = append(b.ports, o)
+	}
+	if m.grid != nil {
+		m.gridForEach(at, now, collect)
+	} else {
+		for _, oid := range m.order {
+			if oid != p.id {
+				collect(m.ports[oid])
+			}
+		}
+	}
+	if len(b.ports) > 0 {
+		b.release = j.release
+		j.release = false // the batch owns the frame now
+		m.sim.DoArg(m.cfg.PropDelay, runBatch, b)
+	} else {
+		b.frame = nil
+		b.next = m.freeBatches
+		m.freeBatches = b
+	}
+	m.finishJob(j) // zero receivers: releases the frame right here
+}
+
+// deliverJob applies the loss process to a unicast delivery and, when the
+// frame survives, schedules a single-receiver batch that releases the
+// frame after the handler runs.
+func (m *Medium) deliverJob(p, o *port, j *txJob) bool {
+	if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+		m.stats.LostFrames++
+		return false
+	}
+	m.stats.RxFrames++
+	b := m.takeBatch()
+	b.from, b.frame, b.release = p.id, j.payload, j.release
+	j.release = false
+	b.ports = append(b.ports, o)
+	m.sim.DoArg(m.cfg.PropDelay, runBatch, b)
+	return true
 }
 
 func (m *Medium) unicastAttempt(from, to NodeID, payload []byte, acked func(bool), retries int) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"sbr6/internal/audit"
@@ -25,6 +26,7 @@ import (
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
 	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
 	"sbr6/internal/scenario"
@@ -47,12 +49,15 @@ type ScaleNetwork struct {
 }
 
 // BuildScaleNetwork constructs the workload network. The area side scales
-// with sqrt(n) so the expected degree is independent of n.
-func BuildScaleNetwork(n int, kind radio.IndexKind, seed int64) *ScaleNetwork {
+// with sqrt(n) so the expected degree is independent of n. pooled selects
+// the pooled wire path (the default everywhere else); the wire workload
+// builds both variants to ratio their allocation rates.
+func BuildScaleNetwork(n int, kind radio.IndexKind, pooled bool, seed int64) *ScaleNetwork {
 	s := sim.New(seed)
 	cfg := radio.DefaultConfig()
 	cfg.Index = kind
 	cfg.LossRate = 0.05
+	cfg.FramePool = pooled
 	m := radio.New(s, cfg)
 
 	side := 125 * math.Sqrt(float64(n))
@@ -113,13 +118,20 @@ type ScaleResult struct {
 	// time, per-cell pays max-occupancy staggers).
 	Configured int     `json:"configured,omitempty"`
 	VirtualS   float64 `json:"virtual_s,omitempty"`
+
+	// Wire cells only: heap allocations per broadcast operation (encode +
+	// transmit + every delivery event), measured over the timed rounds.
+	// Unlike wall time this is machine-independent AND run-to-run exact in
+	// a single-threaded deterministic simulation, so the nopool/pool trend
+	// ratio is the sharpest cell in the sweep.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // RunScale measures the workload at n nodes under the given index kind.
 // Wall time is measured by the caller-supplied clock so the package stays
 // free of direct wall-time reads outside this deliberate benchmark.
 func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() time.Time) ScaleResult {
-	nw := BuildScaleNetwork(n, kind, seed)
+	nw := BuildScaleNetwork(n, kind, true, seed)
 	nw.Round() // warm the index and mobility legs before timing
 	baseEvents, baseStats := nw.S.Processed(), nw.M.Stats()
 	start := now()
@@ -148,6 +160,99 @@ func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() ti
 		TxFrames: stats.TxFrames,
 		RxFrames: stats.RxFrames,
 		Degree:   float64(stats.RxFrames+stats.LostFrames) / float64(stats.TxFrames),
+	}
+}
+
+// --- wire workload: the pooled zero-alloc wire path vs the allocating one ---
+//
+// The same flood traffic shape as the radio workload, but each broadcast
+// goes through the full encode path — a realistic Data packet with a
+// source route is serialized per transmission — so the cell measures what
+// the pooled wire path actually eliminates: the per-packet encode buffer,
+// the per-receiver delivery closures and events, and the per-transmit
+// bookkeeping. The measured quantity is allocations per broadcast, not
+// wall time: in a single-threaded deterministic simulation the allocation
+// count is exact and machine-independent, which makes the nopool/pool
+// ratio the most reliable cell in the trend gate.
+
+// WirePayload is the Data payload size of the wire workload, the 64-byte
+// shape the radio workload floods.
+const WirePayload = 64
+
+// WireNetwork is a scale network plus per-node packet templates that each
+// round re-encodes and broadcasts.
+type WireNetwork struct {
+	*ScaleNetwork
+	pooled bool
+	pkts   []*wire.Packet
+	enc    wire.Encoder
+}
+
+// BuildWireNetwork constructs the wire workload at n nodes. The medium
+// index is fixed to the grid (index scaling is the radio workload's
+// dimension); pooled selects the wire-path variant under test.
+func BuildWireNetwork(n int, pooled bool, seed int64) *WireNetwork {
+	nw := BuildScaleNetwork(n, radio.IndexGrid, pooled, seed)
+	rng := newRand(seed)
+	pkts := make([]*wire.Packet, n)
+	for i := range pkts {
+		var src, dst, via ipv6.Addr
+		rng.Read(src[:])
+		rng.Read(dst[:])
+		rng.Read(via[:])
+		pkts[i] = &wire.Packet{
+			Src: src, Dst: dst, TTL: wire.DefaultTTL,
+			SrcRoute: []ipv6.Addr{via},
+			Msg:      &wire.Data{FlowID: uint32(i), Payload: make([]byte, WirePayload)},
+		}
+	}
+	return &WireNetwork{ScaleNetwork: nw, pooled: pooled, pkts: pkts}
+}
+
+// Round performs one flood epoch with a real encode per broadcast: the
+// pooled variant sizes a pooled frame with EncodedSize and appends into
+// it; the unpooled variant is the historical Encode-then-Broadcast path.
+func (wn *WireNetwork) Round() {
+	for i, pkt := range wn.pkts {
+		pkt.Msg.(*wire.Data).Seq++ // fresh bytes each round, like real flows
+		if wn.pooled {
+			raw := wn.enc.AppendEncode(wn.M.Frame(wn.enc.Size(pkt)), pkt)
+			wn.M.BroadcastFrame(radio.NodeID(i), raw)
+		} else {
+			wn.M.Broadcast(radio.NodeID(i), wire.Encode(pkt))
+		}
+	}
+	wn.S.Run()
+	wn.S.RunFor(time.Second)
+}
+
+// RunWire measures the wire workload at n nodes for one variant. Ops are
+// broadcasts; allocations are counted with runtime.MemStats over the
+// timed rounds (exact in this single-threaded setting), after a warmup
+// round has populated the pools, the event free lists and the index.
+func RunWire(n int, pooled bool, seed int64, rounds int, now func() time.Time) ScaleResult {
+	wn := BuildWireNetwork(n, pooled, seed)
+	wn.Round() // warm: pools, free lists, grid, mobility legs
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := now()
+	for r := 0; r < rounds; r++ {
+		wn.Round()
+	}
+	wall := now().Sub(start)
+	runtime.ReadMemStats(&after)
+	name := "nopool"
+	if pooled {
+		name = "pool"
+	}
+	ops := float64(n) * float64(rounds)
+	return ScaleResult{
+		Mode:        "wire",
+		Nodes:       n,
+		Index:       name,
+		Rounds:      rounds,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6 / float64(rounds),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / ops,
 	}
 }
 

@@ -32,6 +32,20 @@ var ratioPairs = map[string]ratioPair{
 	"radio":     {base: "naive", opt: "grid"},
 	"crypto":    {base: "nocache", opt: "cache"},
 	"formation": {base: "serial", opt: "percell"},
+	"wire":      {base: "nopool", opt: "pool"},
+}
+
+// cellValue is the quantity a mode's ratio divides. Wall time for the
+// wall-bound modes; for the wire mode, allocations per broadcast — exact
+// and machine-independent in a deterministic single-threaded simulation,
+// so its ratio gates the pooled path far more sharply than wall time
+// could. The +1 keeps the ratio finite and stable when the pooled cell is
+// fully allocation-free (its ideal steady state).
+func cellValue(r ScaleResult) float64 {
+	if r.Mode == "wire" {
+		return 1 + r.AllocsPerOp
+	}
+	return r.WallMS
 }
 
 // TrendRow is one aligned speedup ratio of two sweeps.
@@ -66,9 +80,9 @@ type pairID struct {
 
 // ratios extracts every complete (mode, nodes) speedup ratio of one sweep.
 func ratios(rs []ScaleResult) map[pairID]float64 {
-	walls := map[string]float64{}
+	cells := map[string]float64{}
 	for _, r := range rs {
-		walls[r.Mode+"\x00"+r.Index+"\x00"+fmt.Sprint(r.Nodes)] = r.WallMS
+		cells[r.Mode+"\x00"+r.Index+"\x00"+fmt.Sprint(r.Nodes)] = cellValue(r)
 	}
 	out := map[pairID]float64{}
 	for _, r := range rs {
@@ -76,11 +90,12 @@ func ratios(rs []ScaleResult) map[pairID]float64 {
 		if !known || r.Index != pair.base {
 			continue
 		}
-		opt, ok := walls[r.Mode+"\x00"+pair.opt+"\x00"+fmt.Sprint(r.Nodes)]
-		if !ok || opt <= 0 || r.WallMS <= 0 {
+		opt, ok := cells[r.Mode+"\x00"+pair.opt+"\x00"+fmt.Sprint(r.Nodes)]
+		base := cellValue(r)
+		if !ok || opt <= 0 || base <= 0 {
 			continue
 		}
-		out[pairID{r.Mode, r.Nodes}] = r.WallMS / opt
+		out[pairID{r.Mode, r.Nodes}] = base / opt
 	}
 	return out
 }

@@ -69,6 +69,42 @@ func TestTrendComparesRatiosNotWall(t *testing.T) {
 	}
 }
 
+// The wire pair ratios allocations per broadcast, not wall time: a
+// machine-speed change leaves the ratio untouched, while the pooled cell
+// regrowing allocations erodes it. The +1 in the cell value keeps a fully
+// alloc-free pooled cell (AllocsPerOp = 0) finite and comparable.
+func TestTrendWirePairUsesAllocs(t *testing.T) {
+	old := []ScaleResult{
+		{Mode: "wire", Nodes: 4000, Index: "nopool", WallMS: 30, AllocsPerOp: 14},
+		{Mode: "wire", Nodes: 4000, Index: "pool", WallMS: 20, AllocsPerOp: 0}, // 15.0x
+	}
+	// Wall times triple (different machine); the pooled path now allocates
+	// 4 per op — a real erosion the wall numbers would hide.
+	new := []ScaleResult{
+		{Mode: "wire", Nodes: 4000, Index: "nopool", WallMS: 90, AllocsPerOp: 14},
+		{Mode: "wire", Nodes: 4000, Index: "pool", WallMS: 60, AllocsPerOp: 4}, // 3.0x
+	}
+	rows := Trend(old, new, 0.15)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Base != "nopool" || r.Opt != "pool" {
+		t.Fatalf("wire pair misnamed: %+v", r)
+	}
+	if r.OldRatio != 15.0 || r.NewRatio != 3.0 || !r.Regressed {
+		t.Errorf("alloc regression not flagged through the ratio: %+v", r)
+	}
+	// Identical allocation behavior on different hardware: no flag.
+	same := Trend(old, []ScaleResult{
+		{Mode: "wire", Nodes: 4000, Index: "nopool", WallMS: 90, AllocsPerOp: 14},
+		{Mode: "wire", Nodes: 4000, Index: "pool", WallMS: 60, AllocsPerOp: 0},
+	}, 0.15)
+	if Regressed(same) {
+		t.Errorf("machine-speed change flagged on the wire pair: %+v", same)
+	}
+}
+
 // A sweep with an incomplete pair (the optimized cell missing) contributes
 // no ratio rather than a bogus one, and a mode with no pair mapping shows
 // up as an explicit unpaired row instead of silently escaping the gate.

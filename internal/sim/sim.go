@@ -33,12 +33,23 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration between t and earlier time u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a single scheduled callback.
+// event is a single scheduled callback: either a plain closure (fn) or an
+// argument-carrying pair (afn, arg) — the latter lets hot paths schedule a
+// static function over a recycled state object instead of allocating a
+// closure per event. Exactly one of fn/afn is set.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO for equal timestamps
 	fn  func()
+	afn func(any)
+	arg any
 	idx int // heap index, -1 when popped
+
+	// pooled marks handle-free events (Do/DoAt/DoArg/DoAtArg): no Timer
+	// ever references them, so Step recycles the struct after it fires.
+	// Timer-backed events are never pooled — a stale Timer holding a
+	// recycled event could cancel an unrelated later event.
+	pooled bool
 }
 
 // eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). The
@@ -152,6 +163,14 @@ type Simulator struct {
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
+
+	// freeEvents recycles fired handle-free events. Frame schedules are
+	// the hottest allocation in large simulations; recycling the event
+	// structs (the closures are the callers' problem — see DoArg) keeps
+	// the steady-state event rate allocation-free. Recycling is invisible
+	// to simulation results: the heap order is a strict total order over
+	// (at, seq) whatever struct identity the events have.
+	freeEvents []*event
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -196,10 +215,22 @@ func (s *Simulator) After(d Duration, fn func()) *Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// takeEvent returns a recycled handle-free event, or a fresh one.
+func (s *Simulator) takeEvent() *event {
+	if l := len(s.freeEvents); l > 0 {
+		ev := s.freeEvents[l-1]
+		s.freeEvents[l-1] = nil
+		s.freeEvents = s.freeEvents[:l-1]
+		return ev
+	}
+	return &event{pooled: true}
+}
+
 // DoAt schedules fn at absolute time t without returning a cancellation
 // handle. It is the allocation-light variant of At for hot paths — frame
 // deliveries schedule hundreds of thousands of uncancellable events per
-// simulated second, and the Timer wrapper was pure garbage there.
+// simulated second, and the Timer wrapper was pure garbage there. The
+// event struct itself is recycled after firing.
 func (s *Simulator) DoAt(t Time, fn func()) {
 	if fn == nil {
 		panic("sim: DoAt called with nil callback")
@@ -207,7 +238,8 @@ func (s *Simulator) DoAt(t Time, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.takeEvent()
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
 	s.queue.push(ev)
 }
@@ -221,6 +253,33 @@ func (s *Simulator) Do(d Duration, fn func()) {
 	s.DoAt(s.now.Add(d), fn)
 }
 
+// DoAtArg schedules fn(arg) at absolute time t without a cancellation
+// handle. Passing a static function plus a pointer argument avoids the
+// per-event closure allocation of DoAt — the pooled wire path schedules
+// its recycled transmit and delivery state this way, making the hot event
+// path allocation-free end to end.
+func (s *Simulator) DoAtArg(t Time, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: DoAtArg called with nil callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	ev := s.takeEvent()
+	ev.at, ev.seq, ev.afn, ev.arg = t, s.seq, fn, arg
+	s.seq++
+	s.queue.push(ev)
+}
+
+// DoArg schedules fn(arg) to run d after the current time without a
+// cancellation handle; negative durations are clamped to zero.
+func (s *Simulator) DoArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.DoAtArg(s.now.Add(d), fn, arg)
+}
+
 // Step fires the earliest pending event. It reports false when the queue is
 // empty or the simulator has been stopped.
 func (s *Simulator) Step() bool {
@@ -230,7 +289,18 @@ func (s *Simulator) Step() bool {
 	ev := s.queue.pop()
 	s.now = ev.at
 	s.processed++
-	ev.fn()
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	if ev.pooled {
+		// Recycle before firing: the callback may itself schedule events
+		// and can then reuse this struct immediately.
+		ev.fn, ev.afn, ev.arg = nil, nil, nil
+		s.freeEvents = append(s.freeEvents, ev)
+	}
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -261,3 +261,49 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		s.Step()
 	}
 }
+
+func TestDoArgOrderingMatchesDo(t *testing.T) {
+	s := New(1)
+	var got []int
+	push := func(v any) { got = append(got, v.(int)) }
+	s.DoArg(2*time.Millisecond, push, 3)
+	s.Do(time.Millisecond, func() { got = append(got, 1) })
+	s.DoAtArg(Time(time.Millisecond), push, 2) // same instant as the Do above, scheduled later
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHandleFreeEventsRecycle(t *testing.T) {
+	s := New(1)
+	// Interleave pooled schedules with firings; the free list must hand
+	// the same structs back without perturbing order or the timer path.
+	fired := 0
+	var loop func()
+	loop = func() {
+		fired++
+		if fired < 100 {
+			s.DoArg(time.Microsecond, func(any) { loop() }, nil)
+		}
+	}
+	s.Do(0, loop)
+	timer := s.After(time.Second, func() { t.Fatal("cancelled timer fired") })
+	s.RunFor(time.Millisecond)
+	if fired != 100 {
+		t.Fatalf("fired %d events, want 100", fired)
+	}
+	if len(s.freeEvents) == 0 {
+		t.Fatal("no events were recycled")
+	}
+	if !timer.Cancel() {
+		t.Fatal("timer was not pending")
+	}
+	// A Timer-backed event is never pooled: cancelling after heavy
+	// recycling must not have corrupted the free list or the queue.
+	s.Do(0, func() {})
+	s.Run()
+}

@@ -32,15 +32,48 @@ var (
 	ErrBadField = errors.New("wire: invalid field")
 )
 
-// writer accumulates the encoding.
+// writer accumulates the encoding. In counting mode (count == true) it
+// runs the identical field sequence — same bounds checks, same panics —
+// but only tallies sizes into n, which is what makes EncodedSize exact
+// without allocating or retaining an encoding.
 type writer struct {
-	buf []byte
+	buf   []byte
+	count bool
+	n     int
 }
 
-func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
-func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
-func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
-func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) u8(v uint8) {
+	if w.count {
+		w.n++
+		return
+	}
+	w.buf = append(w.buf, v)
+}
+
+func (w *writer) u16(v uint16) {
+	if w.count {
+		w.n += 2
+		return
+	}
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+func (w *writer) u32(v uint32) {
+	if w.count {
+		w.n += 4
+		return
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+func (w *writer) u64(v uint64) {
+	if w.count {
+		w.n += 8
+		return
+	}
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
 func (w *writer) bool(v bool) {
 	if v {
 		w.u8(1)
@@ -48,17 +81,38 @@ func (w *writer) bool(v bool) {
 		w.u8(0)
 	}
 }
-func (w *writer) addr(a ipv6.Addr) { w.buf = append(w.buf, a[:]...) }
+
+func (w *writer) addr(a ipv6.Addr) {
+	if w.count {
+		w.n += len(a)
+		return
+	}
+	w.buf = append(w.buf, a[:]...)
+}
 
 func (w *writer) blob(b []byte) {
 	if len(b) > maxBlobLen {
 		panic(fmt.Sprintf("wire: blob of %d bytes exceeds limit", len(b)))
 	}
 	w.u16(uint16(len(b)))
+	if w.count {
+		w.n += len(b)
+		return
+	}
 	w.buf = append(w.buf, b...)
 }
 
-func (w *writer) str(s string) { w.blob([]byte(s)) }
+func (w *writer) str(s string) {
+	if w.count {
+		// Mirror blob without materializing []byte(s).
+		if len(s) > maxBlobLen {
+			panic(fmt.Sprintf("wire: blob of %d bytes exceeds limit", len(s)))
+		}
+		w.n += 2 + len(s)
+		return
+	}
+	w.blob([]byte(s))
+}
 
 func (w *writer) route(rr []ipv6.Addr) {
 	if len(rr) > maxRouteLen {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sbr6/internal/ipv6"
+	"sbr6/internal/pool"
 )
 
 // Native fuzz target for the frame decoder — the one function that parses
@@ -40,6 +41,58 @@ func FuzzDecode(f *testing.F) {
 		}
 		if string(Encode(pkt2)) != string(re) {
 			t.Fatal("encoding not canonical")
+		}
+	})
+}
+
+// FuzzPooledAppendEncode guards the pooled wire path's encoding contract:
+// appending a packet into a dirty, recycled pool buffer must produce
+// exactly the bytes a fresh Encode produces, and the counting EncodedSize
+// must have sized the buffer exactly. The buffer is poisoned, released
+// and re-checked out between uses — the lifecycle the radio medium puts
+// frames through — so stale bytes from a previous occupant can never leak
+// into a frame.
+func FuzzPooledAppendEncode(f *testing.F) {
+	a := ipv6.SiteLocal(0, 1)
+	b := ipv6.SiteLocal(0, 2)
+	seeds := []*Packet{
+		{Src: a, Dst: ipv6.AllNodes, TTL: 64, Msg: &AREQ{SIP: a, Seq: 1, DN: "n", Ch: 2, RR: []ipv6.Addr{b}}},
+		{Src: a, Dst: b, TTL: 32, SrcRoute: []ipv6.Addr{b}, Msg: &RREP{SIP: a, DIP: b, Seq: 3, Sig: []byte{1}, DPK: []byte{2}, Drn: 4}},
+		{Src: a, Dst: b, TTL: 8, Msg: &Data{FlowID: 1, Seq: 2, Payload: []byte("hello")}},
+		{Src: a, Dst: b, TTL: 8, Msg: &RERR{IIP: a, NIP: b, Sig: []byte{9}, IPK: []byte{8}, Irn: 7}},
+		{Src: a, Dst: b, TTL: 8, Msg: &DNSAnswer{Name: "x", IP: b, Found: true, Sig: []byte{3}}},
+	}
+	for _, p := range seeds {
+		f.Add(Encode(p))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Decode(data)
+		if err != nil {
+			return
+		}
+		fresh := Encode(pkt)
+		if got := EncodedSize(pkt); got != len(fresh) {
+			t.Fatalf("EncodedSize = %d, Encode produced %d bytes", got, len(fresh))
+		}
+		p := pool.New()
+		p.SetPoison(true)
+		var enc Encoder
+		// First occupancy dirties the buffer with a different packet.
+		buf := p.Get(enc.Size(pkt))
+		buf = enc.AppendEncode(buf, seeds[len(data)%len(seeds)])
+		p.Put(buf) // poisons the whole capacity
+		// Second checkout must encode over the poison byte-identically.
+		buf = p.Get(enc.Size(pkt))
+		buf = enc.AppendEncode(buf, pkt)
+		if string(buf) != string(fresh) {
+			t.Fatalf("pooled encode diverged from fresh encode\npooled: %x\n fresh: %x", buf, fresh)
+		}
+		re, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode of pooled encode failed: %v", err)
+		}
+		if string(Encode(re)) != string(fresh) {
+			t.Fatal("pooled encode not canonical")
 		}
 	})
 }

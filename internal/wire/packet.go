@@ -43,13 +43,13 @@ func (p *Packet) NextHop() (ipv6.Addr, bool) {
 	return ipv6.Addr{}, false
 }
 
-// Encode serializes the packet. It panics on nil Msg or oversized fields —
-// both are programming errors on the sending side, never input errors.
-func Encode(p *Packet) []byte {
+// encodeInto writes the packet's field sequence through w — the single
+// definition of the frame layout shared by Encode, AppendEncode and the
+// counting EncodedSize.
+func encodeInto(w *writer, p *Packet) {
 	if p.Msg == nil {
 		panic("wire: Encode with nil message")
 	}
-	w := &writer{buf: make([]byte, 0, 128)}
 	w.addr(p.Src)
 	w.addr(p.Dst)
 	w.u8(p.TTL)
@@ -57,6 +57,22 @@ func Encode(p *Packet) []byte {
 	w.route(p.SrcRoute)
 	w.u8(uint8(p.Msg.Type()))
 	p.Msg.encodeBody(w)
+}
+
+// Encode serializes the packet. It panics on nil Msg or oversized fields —
+// both are programming errors on the sending side, never input errors.
+func Encode(p *Packet) []byte {
+	return AppendEncode(make([]byte, 0, 128), p)
+}
+
+// AppendEncode serializes the packet into dst (appending from its current
+// length) and returns the extended slice — the pooled-buffer variant of
+// Encode. With dst capacity of at least EncodedSize(p) free it performs no
+// allocation; the transmit paths obtain exactly that from their medium's
+// frame pool.
+func AppendEncode(dst []byte, p *Packet) []byte {
+	w := writer{buf: dst}
+	encodeInto(&w, p)
 	return w.buf
 }
 
@@ -86,9 +102,43 @@ func Decode(b []byte) (*Packet, error) {
 	return p, nil
 }
 
-// EncodedSize returns the wire size of the packet without retaining the
-// encoding; used by the overhead accounting of experiment T1/E1.
-func EncodedSize(p *Packet) int { return len(Encode(p)) }
+// Encoder amortizes the codec's scratch state across encodes. The writer
+// escapes to the heap on every package-level Encode/AppendEncode call
+// (the encodeBody interface call defeats escape analysis), so hot paths
+// that encode per transmission keep an Encoder in their long-lived state
+// — one heap allocation for its lifetime instead of two per packet.
+// An Encoder is single-threaded, like everything else in the simulator.
+type Encoder struct {
+	w writer
+}
+
+// AppendEncode is AppendEncode over the encoder's reusable writer.
+func (e *Encoder) AppendEncode(dst []byte, p *Packet) []byte {
+	e.w = writer{buf: dst}
+	encodeInto(&e.w, p)
+	buf := e.w.buf
+	e.w.buf = nil // never retain the caller's (possibly pooled) buffer
+	return buf
+}
+
+// Size is EncodedSize over the encoder's reusable writer.
+func (e *Encoder) Size(p *Packet) int {
+	e.w = writer{count: true}
+	encodeInto(&e.w, p)
+	return e.w.n
+}
+
+// EncodedSize returns the wire size of the packet without encoding it:
+// the writer runs the identical field walk in counting mode, so the
+// result agrees with len(Encode(p)) byte-for-byte (the codec property
+// test holds it there) at zero allocations. The transmit paths use it to
+// size pooled frame buffers exactly; the overhead accounting of
+// experiment T1/E1 uses it directly.
+func EncodedSize(p *Packet) int {
+	w := writer{count: true}
+	encodeInto(&w, p)
+	return w.n
+}
 
 // String summarizes the packet for transcripts.
 func (p *Packet) String() string {

@@ -331,7 +331,24 @@ func WithRadio(r Radio) Option {
 			BroadcastJitter: r.BroadcastJitter,
 			MaxQueueDelay:   s.cfg.Radio.MaxQueueDelay,
 			UnicastRetries:  r.UnicastRetries,
+			// Orthogonal knobs with their own options survive a radio swap.
+			Index:        s.cfg.Radio.Index,
+			FramePool:    s.cfg.Radio.FramePool,
+			PoisonFrames: s.cfg.Radio.PoisonFrames,
 		}
+		return nil
+	}
+}
+
+// WithFramePool toggles the pooled zero-alloc wire path: size-class frame
+// buffers recycled per medium, one shared encoded frame per broadcast, and
+// recycled transmit/delivery event state. It is on by default — the pooled
+// path is proven byte-for-byte result-identical to the allocating one —
+// and exists mainly so benchmarks and differential tests can measure the
+// unpooled baseline.
+func WithFramePool(on bool) Option {
+	return func(s *Scenario) error {
+		s.cfg.Radio.FramePool = on
 		return nil
 	}
 }
