@@ -361,6 +361,33 @@ func BenchmarkScaleNodes1000(b *testing.B)  { benchmarkScale(b, 1000) }
 func BenchmarkScaleNodes4000(b *testing.B)  { benchmarkScale(b, 4000) }
 func BenchmarkScaleNodes10000(b *testing.B) { benchmarkScale(b, 10000) }
 
+// The 100k tier runs on the sharded engine only: a naive O(N^2) flood round
+// is ~10^10 port checks at this size, so the comparison that matters is the
+// engine's serial mode against its sharded mode — byte-identical results
+// (internal/shard's differential suite), wall clock the only difference.
+// cmd/sbrbench -scale -json records the same pair into BENCH_scale.json as
+// the mode "shard" cells under the trend gate.
+
+func benchmarkShardScale(b *testing.B, n int) {
+	for _, mode := range []struct {
+		name    string
+		regions int
+	}{{"serial", 1}, {"sharded", scalebench.ShardRegions}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sn := scalebench.BuildShardNetwork(n, mode.regions, 1)
+			sn.Round() // warm the grids, mobility legs and region partitions
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sn.Round()
+			}
+		})
+	}
+}
+
+func BenchmarkShardScale10000(b *testing.B)  { benchmarkShardScale(b, 10000) }
+func BenchmarkScaleNodes100000(b *testing.B) { benchmarkShardScale(b, 100000) }
+
 // --- scale: the pooled zero-alloc wire path vs the allocating one ---
 //
 // The flood workload with a real packet encode per broadcast (see

@@ -16,6 +16,7 @@
 //	manetsim -n 100 -boot percell -audit 5s         # post-formation audit sweep
 //	manetsim -n 100 -index naive                    # force the O(N) medium
 //	manetsim -n 100 -verifycache 0                  # disable crypto memoization
+//	manetsim -n 2000 -shards 4 -duration 10s        # region-sharded core
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		verifycache = flag.Int("verifycache", sbr6.DefaultVerifyCacheEntries,
 			"per-node memoized-verification cache entries (0 disables; results are identical)")
 		stagger    = flag.Duration("stagger", 0, "delay between DAD starts (0 = safe default; shrink it for 1k+ nodes)")
+		shards     = flag.Int("shards", 0, "spatial regions with independent event loops; results are identical for every count >= 1 (0 = classic unsharded core)")
 		bootPolicy = flag.String("boot", "serial", "bootstrap admission policy: serial or percell (concurrent per-cell formation)")
 		auditEvery = flag.Duration("audit", 0, "post-formation address audit sweep period (0 = disabled)")
 		windows    = flag.Duration("windows", 0, "bucket delivery into windows of this size")
@@ -106,6 +108,9 @@ func main() {
 		opts = append(opts, sbr6.WithAuditSweep(*auditEvery))
 	}
 	opts = append(opts, sbr6.WithVerifyCache(*verifycache))
+	if *shards != 0 {
+		opts = append(opts, sbr6.WithShards(*shards))
+	}
 	if !*secure {
 		opts = append(opts, sbr6.WithBaseline())
 	}

@@ -166,6 +166,20 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 			results = append(results, r)
 		}
 	}
+	for _, n := range []int{250, 1000, 4000} {
+		for _, kind := range []radio.IndexKind{radio.IndexNaive, radio.IndexGrid} {
+			results = append(results, scalebench.RunAuditSweep(n, kind, seed, rounds, time.Now))
+		}
+	}
+	// The sharded engine is the only workload that reaches 100k nodes: the
+	// naive medium's O(N^2) round is unaffordable there, while the sharded
+	// grid round stays linear. Serial is the engine at one region, so the
+	// pair divides byte-identical computations and only wall time differs.
+	for _, n := range []int{10000, 100000} {
+		for _, regions := range []int{1, scalebench.ShardRegions} {
+			results = append(results, scalebench.RunShard(n, regions, seed, rounds, time.Now))
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -183,6 +197,10 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 		"nodes", "nocache", "cache", "speedup", "crypto ops saved")
 	formT := trace.NewTable("formation scale sweep (wall ms to fully addressed)",
 		"nodes", "serial", "percell", "speedup", "virtual time")
+	auditT := trace.NewTable("audit sweep cost (wall ms per sweep period)",
+		"nodes", "naive", "grid", "speedup", "events/round")
+	shardT := trace.NewTable(fmt.Sprintf("sharded engine flood sweep (wall ms per round, %d regions)", scalebench.ShardRegions),
+		"nodes", "serial", "sharded", "speedup", "mean degree")
 	for i := 0; i < len(results); i += 2 {
 		a, b := results[i], results[i+1]
 		switch a.Mode {
@@ -205,12 +223,23 @@ func runScaleSweep(seed int64, rounds int, jsonOut bool) {
 				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
 				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS),
 				fmt.Sprintf("%.0fs -> %.1fs", a.VirtualS, b.VirtualS))
+		case "audit":
+			auditT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
+				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS),
+				fmt.Sprint(a.Events/uint64(a.Rounds)))
+		case "shard":
+			shardT.Add(fmt.Sprint(a.Nodes),
+				fmt.Sprintf("%.1f", a.WallMS), fmt.Sprintf("%.1f", b.WallMS),
+				fmt.Sprintf("%.1fx", a.WallMS/b.WallMS), fmt.Sprintf("%.1f", a.Degree))
 		}
 	}
 	fmt.Println(radioT.String())
 	fmt.Println(wireT.String())
 	fmt.Println(cryptoT.String())
 	fmt.Println(formT.String())
+	fmt.Println(auditT.String())
+	fmt.Println(shardT.String())
 }
 
 func runExperiments(selected []experiments.Experiment, opts experiments.Options, csv bool) {

@@ -148,6 +148,36 @@
 // primitive-operation savings are reported by the cache's own Stats.
 // The cache is on by default; WithVerifyCache bounds or disables it.
 //
+// # The region-sharded core
+//
+// WithShards(n) runs the simulation on the region-sharded engine
+// (internal/shard): the area is cut into n x-sorted equal-count strips,
+// and regions advance in parallel rounds bounded by conservative
+// lookahead from the radio propagation delay, merging cross-region
+// messages at deterministic barriers. The region-ownership rules the
+// engine is built on:
+//
+//   - Every node belongs to exactly one region, which owns its event
+//     heap, radio medium, spatial grid, RNG consumption and counters.
+//   - No pointer crosses a region boundary. Regions communicate only
+//     through immutable messages (broadcast frames, unicast
+//     deliveries), exchanged at barriers in region-index order and
+//     scheduled under the global (time, owner, seq) event ordering.
+//   - Radio randomness is content-derived, so a draw's value does not
+//     depend on which region performs it or in what order.
+//   - A region's horizon is sound against feedback: its own first
+//     boundary-crossing send at time u tightens the remaining horizon
+//     to u+2L, so a peer's reaction can never land in this region's
+//     virtual past.
+//
+// Under those rules the merged Result is byte-for-byte identical at
+// every shard count >= 1 — proven by the differential suite in
+// internal/shard across static, mobile and adversarial scenarios, five
+// seeds, shard counts {1,2,4,8}, under -race in CI. Results at
+// WithShards(1) differ from the historical unsharded default (the
+// engine forces content-derived radio draws), so sharded experiments
+// anchor on WithShards(1), not on omitting the option.
+//
 // # Static analysis
 //
 // The determinism disciplines those differential suites check
@@ -159,9 +189,10 @@
 // identity keygen) and globalstate (no package-level mutable vars).
 // Exceptions require a reasoned //sbr6:allow or //sbr6:commutative
 // annotation, inventoried by `sbr6lint -list-allows`. globalstate in
-// particular keeps the tree ready for the roadmap's region-sharded
-// simulation core: state that isn't package-global today never has to
-// be unshared tomorrow. See the README's "Static analysis" section.
+// particular is what makes the region-sharded core's ownership rules
+// hold tree-wide: state that isn't package-global cannot be shared
+// between regions by accident. See the README's "Static analysis"
+// section.
 //
 // Layout:
 //
@@ -169,6 +200,7 @@
 //	internal/core        the full secure node stack (the paper's contribution)
 //	internal/audit       post-formation address audit sweep
 //	internal/boot        bootstrap admission policies
+//	internal/shard       region-sharded parallel simulation engine
 //	internal/{sim,geom,mobility,radio}   simulation substrate
 //	internal/{ipv6,cga,identity,wire}    addressing, crypto and wire format
 //	internal/{ndp,dnssrv,dsr,credit}     protocol building blocks

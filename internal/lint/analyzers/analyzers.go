@@ -58,6 +58,7 @@ var scopedPackages = map[string]bool{
 	"sbr6/internal/mobility": true,
 	"sbr6/internal/attack":   true,
 	"sbr6/internal/pool":     true,
+	"sbr6/internal/shard":    true,
 }
 
 // Scoped reports whether the package with the given import path is on

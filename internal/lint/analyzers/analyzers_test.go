@@ -80,6 +80,7 @@ func TestScoped(t *testing.T) {
 		{"sbr6/internal/lint/analyzers", false},
 		{"sbr6", false},
 		{"sbr6/internal/wire", true},
+		{"sbr6/internal/shard", true},
 	} {
 		if got := Scoped(tc.path); got != tc.want {
 			t.Errorf("Scoped(%q) = %v, want %v", tc.path, got, tc.want)
@@ -97,6 +98,7 @@ func TestScopedDir(t *testing.T) {
 		{"internal/core", true},
 		{"./internal/scenario", true},
 		{"/root/repo/internal/wire", true},
+		{"internal/shard", true},
 		{"internal/identity", false},
 		{"internal/lint/analyzers", false},
 		{"internal/lint/analysis", false},

@@ -33,6 +33,22 @@ type Bounded interface {
 	SpeedBound() float64
 }
 
+// Refresher is implemented by tracks that can report when they next need
+// their spatial-index bucket refreshed. NextRefresh returns the earliest
+// instant strictly after now at which the track may have drifted more than
+// slop metres from its position at now, or -1 if it never will (static, or
+// arrived at a final destination). The radio medium uses this to drive
+// event-driven per-node re-bucketing instead of sweeping every mover on
+// every query — crucially, a per-node event chain stays inside one region
+// of the sharded core, while a sweep would be a cross-region scan.
+//
+// Implementations may be conservative (return an earlier time than
+// strictly necessary) but must never be late: between now and the returned
+// instant the track must stay within slop of Position(now).
+type Refresher interface {
+	NextRefresh(now sim.Time, slop float64) sim.Time
+}
+
 // Static is a Track that never moves.
 type Static geom.Point
 
@@ -41,6 +57,9 @@ func (s Static) Position(sim.Time) geom.Point { return geom.Point(s) }
 
 // SpeedBound implements Bounded: a static node never moves.
 func (s Static) SpeedBound() float64 { return 0 }
+
+// NextRefresh implements Refresher: a static node never needs one.
+func (s Static) NextRefresh(sim.Time, float64) sim.Time { return -1 }
 
 // leg is one segment of piecewise-linear motion: travel from From to To
 // during [Start, ArriveAt], then hold position until End (pause time).
@@ -73,6 +92,44 @@ type mover struct {
 
 // SpeedBound implements Bounded.
 func (m *mover) SpeedBound() float64 { return m.bound }
+
+// NextRefresh implements Refresher. While travelling, the node needs a
+// refresh after covering slop metres at the leg's own speed (not the
+// global bound); while paused it holds position until the leg ends. The
+// returned instant is always strictly after now, so refresh event chains
+// make progress even across leg boundaries.
+func (m *mover) NextRefresh(now sim.Time, slop float64) sim.Time {
+	// Find the leg that strictly covers now (end > now), extending lazily.
+	for m.legs[len(m.legs)-1].end <= now {
+		m.legs = append(m.legs, m.next(m.legs[len(m.legs)-1]))
+	}
+	lo, hi := 0, len(m.legs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.legs[mid].end <= now {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	l := m.legs[lo]
+	next := l.end // paused (or zero-travel leg): position holds until the leg ends
+	if now < l.arriveAt && l.arriveAt > l.start {
+		speed := l.from.Dist(l.to) / l.arriveAt.Sub(l.start).Seconds()
+		if speed > 0 {
+			drift := now.Add(sim.Duration(slop / speed * float64(time.Second)))
+			if drift < l.arriveAt {
+				next = drift
+			} else {
+				next = l.arriveAt
+			}
+		}
+	}
+	if next <= now { // float rounding guard: chains must always advance
+		next = now + 1
+	}
+	return next
+}
 
 func (m *mover) Position(t sim.Time) geom.Point {
 	for m.legs[len(m.legs)-1].end < t {
@@ -189,6 +246,28 @@ func (g *Glide) SpeedBound() float64 { return g.Speed }
 func (g *Glide) Arrival() sim.Time {
 	dist := g.From.Dist(g.To)
 	return g.Start.Add(sim.Duration(dist / g.Speed * float64(time.Second)))
+}
+
+// NextRefresh implements Refresher: nothing moves before Start or after
+// Arrival; in between, slop metres at the glide speed.
+func (g *Glide) NextRefresh(now sim.Time, slop float64) sim.Time {
+	arr := g.Arrival()
+	if now >= arr {
+		return -1
+	}
+	drift := sim.Duration(slop / g.Speed * float64(time.Second))
+	start := g.Start
+	if now > start {
+		start = now
+	}
+	next := start.Add(drift)
+	if next > arr {
+		next = arr
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
 }
 
 // UniformPlacement returns n independent uniform positions inside region.

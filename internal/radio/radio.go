@@ -109,7 +109,82 @@ type Config struct {
 	// garbage instead of silently reading recycled memory. Only
 	// meaningful with FramePool; the retention tests run under it.
 	PoisonFrames bool
+
+	// Det switches the medium's randomness (contention jitter, the
+	// per-receiver loss process) from the simulator's sequential RNG
+	// stream to content-derived hashes keyed by (DetSeed, transmitter,
+	// per-port transmission sequence, receiver). Hashed draws do not
+	// depend on the order the medium visits receivers or on how many
+	// other media share the simulator, which is what lets the sharded
+	// engine split one logical medium across region-local simulators and
+	// still produce byte-identical results at every shard count. Det runs
+	// are NOT byte-identical to non-Det runs of the same seed — the
+	// sharded differential suite compares Det@1 shard against Det@n.
+	Det bool
+
+	// DetSeed seeds the content-derived draws when Det is on.
+	DetSeed uint64
+
+	// Remote, when non-nil, is the sharded engine's view of nodes that
+	// live in other regions: transmissions that may reach across the
+	// region boundary are handed off through it instead of silently
+	// stopping at the local port table. Only meaningful with Det.
+	Remote Remote
 }
+
+// Remote is implemented by the sharded engine (one adapter per region).
+// It answers pure-past queries about nodes owned by other regions —
+// positions and up/down state at or before the caller's current virtual
+// time — and transports boundary-crossing frames. All methods must be
+// safe to call while other regions execute concurrently.
+type Remote interface {
+	// Exists reports whether the id is attached anywhere in the network.
+	Exists(id NodeID) bool
+	// PosAt returns the node's position at time t (t never exceeds the
+	// calling region's safe horizon, so the answer is final).
+	PosAt(id NodeID, t sim.Time) geom.Point
+	// DownAt reports the node's down state at time t. Down toggles are
+	// barrier-synchronized by the engine, so the answer is final.
+	DownAt(id NodeID, t sim.Time) bool
+	// ScanRegions appends the indices of regions other than the caller's
+	// own whose nodes could be within reach of a transmitter at from,
+	// in increasing order, and returns the extended slice.
+	ScanRegions(from geom.Point, reach float64, buf []int) []int
+	// PostScan enqueues a boundary-crossing broadcast for the region.
+	PostScan(region int, msg ScanMsg)
+	// PostDeliver enqueues a boundary-crossing unicast delivery for the
+	// region owning id.
+	PostDeliver(id NodeID, msg DeliverMsg)
+}
+
+// ScanMsg is a broadcast crossing a region boundary: everything a foreign
+// region needs to evaluate its own receivers exactly as the transmitter's
+// region evaluated the local ones. Frame is a single read-only copy shared
+// by every target region; receivers borrow it during Deliver and must not
+// mutate or retain it.
+type ScanMsg struct {
+	From  NodeID
+	Pos   geom.Point // transmitter position at serialization end
+	Sent  sim.Time   // serialization end — receivers are sampled here
+	At    sim.Time   // delivery instant (Sent + PropDelay)
+	TxSeq uint64     // transmitter's per-port transmission sequence
+	Frame []byte
+}
+
+// DeliverMsg is a unicast delivery crossing a region boundary. The loss
+// and range outcome was already decided sender-side (the link-layer ACK
+// resolves at serialization end, exactly like a local unicast); the target
+// region only delivers the frame if the receiver is still up.
+type DeliverMsg struct {
+	From  NodeID
+	To    NodeID
+	At    sim.Time
+	Frame []byte
+}
+
+// RefreshFunc reports when a node's track next needs its grid bucket
+// refreshed (mobility.Refresher.NextRefresh); -1 means never again.
+type RefreshFunc func(now sim.Time, slop float64) sim.Time
 
 // DefaultConfig mimics a 2 Mb/s 802.11-style radio with a 250 m range.
 func DefaultConfig() Config {
@@ -144,6 +219,7 @@ type port struct {
 	handler   Handler
 	busyUntil sim.Time
 	down      bool
+	txSeq     uint64 // transmissions attempted so far; keys Det-mode draws
 }
 
 // Medium is the shared channel all nodes transmit on.
@@ -173,6 +249,18 @@ type Medium struct {
 	unboundedAt sim.Time  // instant the unbounded nodes were last re-bucketed
 	candBits    []uint64  // reusable candidate bitset (single-threaded sim)
 	nbHint      int       // size of the last Neighbors result, pre-sizes the next
+
+	// Event-driven re-bucketing: tracks that report their own refresh
+	// instants (mobility.Refresher) get a per-node event chain instead of
+	// riding the O(movers) sweep. Only bounded movers WITHOUT a refresher
+	// remain sweep candidates — under sharding a sweep is region-local
+	// and still correct, but the chains keep re-bucketing cost
+	// proportional to actual motion.
+	refreshers   []RefreshFunc   // per-ord; nil = no refresher
+	refreshOn    []bool          // per-ord; a chain event is pending
+	refreshSt    []*refreshState // per-ord recycled chain event argument
+	nSweepMovers int             // bounded movers with no refresher
+	scanRegions  []int           // reusable Remote.ScanRegions buffer
 
 	// Pooled wire path state (nil/empty when Config.FramePool is off):
 	// the frame buffer pool plus free lists of transmit jobs and delivery
@@ -221,6 +309,9 @@ func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
 	m.order = append(m.order, id)
 	m.byOrd = append(m.byOrd, p)
 	m.speeds = append(m.speeds, -1)
+	m.refreshers = append(m.refreshers, nil)
+	m.refreshOn = append(m.refreshOn, false)
+	m.refreshSt = append(m.refreshSt, nil)
 	m.nUnbounded++
 	switch {
 	case m.grid != nil:
@@ -250,13 +341,123 @@ func (m *Medium) SetSpeedBound(id NodeID, metresPerSec float64) {
 	} else if old >= 0 && metresPerSec < 0 {
 		m.nUnbounded++
 	}
+	wasSweep := m.sweepMover(p.ord)
 	m.speeds[p.ord] = metresPerSec
 	if metresPerSec > m.maxSpeed {
 		m.maxSpeed = metresPerSec
 	}
+	m.noteSweepChange(p.ord, wasSweep)
+	if m.grid != nil {
+		m.startRefresh(p.ord)
+	}
 }
 
-// enableGrid builds the spatial index over the already-attached ports.
+// sweepMover reports whether the ord still depends on the lazy sweep: a
+// bounded mover whose track does not announce its own refresh instants.
+func (m *Medium) sweepMover(ord int) bool {
+	return m.speeds[ord] > 0 && m.refreshers[ord] == nil
+}
+
+func (m *Medium) noteSweepChange(ord int, was bool) {
+	if is := m.sweepMover(ord); is != was {
+		if is {
+			m.nSweepMovers++
+		} else {
+			m.nSweepMovers--
+		}
+	}
+}
+
+// SetRefresher registers the node's track as self-refreshing: the medium
+// drives a per-node event chain that re-buckets the node's grid position
+// exactly when the track may have drifted past the staleness slop, taking
+// the node off the O(movers) sweep. fn is mobility.Refresher.NextRefresh;
+// nil unregisters. Results are byte-identical either way — the grid
+// remains a slop-widened superset filtered by exact positions, and chain
+// events touch nothing but the index.
+func (m *Medium) SetRefresher(id NodeID, fn RefreshFunc) {
+	p, ok := m.ports[id]
+	if !ok {
+		return
+	}
+	was := m.sweepMover(p.ord)
+	m.refreshers[p.ord] = fn
+	m.noteSweepChange(p.ord, was)
+	if m.grid != nil {
+		m.startRefresh(p.ord)
+	}
+}
+
+// refreshSlop is the drift budget handed to refreshers. Identical to the
+// query slop so the superset invariant holds; the guard covers a refresher
+// registered before any speed bound is declared.
+func (m *Medium) refreshSlop() float64 {
+	if s := m.slop(); s > 0 {
+		return s
+	}
+	return m.cfg.Range * 0.5
+}
+
+// refreshState is the recycled argument of one node's chain events.
+type refreshState struct {
+	m   *Medium
+	ord int
+}
+
+// startRefresh begins the node's re-bucket chain if it needs one and does
+// not have one pending.
+func (m *Medium) startRefresh(ord int) {
+	if m.refreshOn[ord] || m.refreshers[ord] == nil || m.speeds[ord] <= 0 {
+		return
+	}
+	next := m.refreshers[ord](m.sim.Now(), m.refreshSlop())
+	if next < 0 {
+		return
+	}
+	m.refreshOn[ord] = true
+	st := m.refreshSt[ord]
+	if st == nil {
+		st = &refreshState{m: m, ord: ord}
+		m.refreshSt[ord] = st
+	}
+	m.scheduleRefresh(st, next)
+}
+
+// scheduleRefresh queues the next chain event. In Det mode it is stamped
+// with the chained node's own scheduling owner — a chain started while
+// another node's event was executing must not ride that node's owner key.
+func (m *Medium) scheduleRefresh(st *refreshState, at sim.Time) {
+	if m.cfg.Det {
+		prev := m.sim.SetOwner(uint32(m.byOrd[st.ord].id) + 1)
+		m.sim.DoAtArg(at, runRefresh, st)
+		m.sim.SetOwner(prev)
+		return
+	}
+	m.sim.DoAtArg(at, runRefresh, st)
+}
+
+func runRefresh(v any) {
+	st := v.(*refreshState)
+	m := st.m
+	m.refreshOn[st.ord] = false
+	if m.grid == nil || m.refreshers[st.ord] == nil {
+		return
+	}
+	now := m.sim.Now()
+	m.grid.Set(st.ord, m.byOrd[st.ord].pos(now))
+	next := m.refreshers[st.ord](now, m.refreshSlop())
+	if next < 0 {
+		return
+	}
+	if next <= now {
+		next = now + 1 // refresher rounding guard: the chain must advance
+	}
+	m.refreshOn[st.ord] = true
+	m.scheduleRefresh(st, next)
+}
+
+// enableGrid builds the spatial index over the already-attached ports and
+// starts the re-bucket chain of every registered self-refreshing track.
 func (m *Medium) enableGrid() {
 	m.grid = geom.NewGrid(m.cfg.Range)
 	now := m.sim.Now()
@@ -265,6 +466,9 @@ func (m *Medium) enableGrid() {
 	}
 	m.lastSweep = now
 	m.unboundedAt = now
+	for ord := range m.byOrd {
+		m.startRefresh(ord)
+	}
 }
 
 // slop is how far a bounded mover may have drifted from its bucketed
@@ -279,8 +483,10 @@ func (m *Medium) slop() float64 {
 }
 
 // syncGrid re-buckets stale cached positions before a query at now:
-// unbounded nodes exactly whenever the clock moved, bounded movers at most
-// once per staleness quantum (slop / maxSpeed).
+// unbounded nodes exactly whenever the clock moved, and bounded movers
+// without a self-refreshing track at most once per staleness quantum
+// (slop / maxSpeed). Movers with a registered refresher are re-bucketed by
+// their own event chains and skipped here.
 func (m *Medium) syncGrid(now sim.Time) {
 	if m.nUnbounded > 0 && now != m.unboundedAt {
 		for ord, p := range m.byOrd {
@@ -290,11 +496,11 @@ func (m *Medium) syncGrid(now sim.Time) {
 		}
 		m.unboundedAt = now
 	}
-	if m.maxSpeed > 0 {
+	if m.nSweepMovers > 0 {
 		quantum := sim.Duration(m.slop() / m.maxSpeed * float64(time.Second))
 		if now.Sub(m.lastSweep) > quantum {
 			for ord, p := range m.byOrd {
-				if m.speeds[ord] > 0 {
+				if m.sweepMover(ord) {
 					m.grid.Set(ord, p.pos(now))
 				}
 			}
@@ -311,13 +517,21 @@ func (m *Medium) syncGrid(now sim.Time) {
 // fn must not trigger another grid query (protocol callbacks run later,
 // from scheduled events, so this cannot recurse).
 func (m *Medium) gridForEach(at geom.Point, now sim.Time, fn func(o *port)) {
+	m.gridForEachRadius(at, now, 0, fn)
+}
+
+// gridForEachRadius is gridForEach with the query radius widened by extra
+// metres — the remote-scan path queries positions slightly in the past, so
+// its candidate radius must additionally cover the drift a bounded node
+// can accumulate over the propagation delay.
+func (m *Medium) gridForEachRadius(at geom.Point, now sim.Time, extra float64, fn func(o *port)) {
 	m.syncGrid(now)
 	words := (len(m.byOrd) + 63) >> 6
 	if cap(m.candBits) < words {
 		m.candBits = make([]uint64, words)
 	}
 	bits64 := m.candBits[:words]
-	m.grid.Visit(at, m.cfg.Range+m.slop(), func(id int) {
+	m.grid.Visit(at, m.cfg.Range+m.slop()+extra, func(id int) {
 		bits64[id>>6] |= 1 << (id & 63)
 	})
 	for w, word := range bits64 {
@@ -413,6 +627,51 @@ func (m *Medium) txDuration(size int) sim.Duration {
 	return sim.Duration(float64(size*8) / m.cfg.BitrateBps * float64(time.Second))
 }
 
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// hash for the Det-mode draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// detMix derives one Det-mode draw from the medium seed and the draw's
+// identity. The sequential RNG this replaces would entangle every medium
+// draw with global event order; a content-keyed hash gives each draw the
+// same value no matter which region evaluates it or in what order.
+func detMix(seed, a, b, c uint64) uint64 {
+	h := mix64(seed + 0x9e3779b97f4a7c15 + a)
+	h = mix64(h + 0x9e3779b97f4a7c15 + b)
+	h = mix64(h + 0x9e3779b97f4a7c15 + c)
+	return h
+}
+
+// txJitter draws the contention jitter for one transmission attempt.
+func (m *Medium) txJitter(from NodeID, txSeq uint64) sim.Duration {
+	if !m.cfg.Det {
+		return m.sim.Jitter(m.cfg.BroadcastJitter)
+	}
+	if m.cfg.BroadcastJitter <= 0 {
+		return 0
+	}
+	h := detMix(m.cfg.DetSeed, uint64(from), txSeq, 0)
+	return sim.Duration(h % uint64(m.cfg.BroadcastJitter))
+}
+
+// lossDraw decides whether the frame of the given transmission attempt is
+// lost on its way to the receiver. Callers gate on LossRate > 0 so the
+// plain path's RNG consumption stays exactly historical.
+func (m *Medium) lossDraw(from NodeID, txSeq uint64, to NodeID) bool {
+	if m.cfg.Det {
+		h := detMix(m.cfg.DetSeed, uint64(from), txSeq, uint64(to)+1)
+		return float64(h>>11)/(1<<53) < m.cfg.LossRate
+	}
+	return m.sim.Rand().Float64() < m.cfg.LossRate
+}
+
 // --- Frame ownership (the pooled wire path) ---
 //
 // The buffer-ownership contract:
@@ -468,6 +727,7 @@ type txJob struct {
 	unicast bool
 	to      NodeID
 	retries int
+	txSeq   uint64 // this attempt's draw key (fresh per retry)
 	acked   func(bool)
 	next    *txJob
 }
@@ -517,7 +777,16 @@ func runBatch(v any) {
 	b := v.(*deliveryBatch)
 	m := b.m
 	for _, o := range b.ports {
-		if !o.down {
+		if o.down {
+			continue
+		}
+		if m.cfg.Det {
+			// Events the receiver schedules in reaction belong to the
+			// receiver's causal stream, not the transmitter's.
+			prev := m.sim.SetOwner(uint32(o.id) + 1)
+			o.handler.Deliver(b.from, b.frame)
+			m.sim.SetOwner(prev)
+		} else {
 			o.handler.Deliver(b.from, b.frame)
 		}
 	}
@@ -565,7 +834,10 @@ func (m *Medium) UnicastFrame(from, to NodeID, frame []byte, acked func(bool)) {
 // subject to the loss process. The payload stays caller-owned (never
 // released), so pre-encoded or shared buffers are safe here.
 func (m *Medium) Broadcast(from NodeID, payload []byte) {
-	if m.pool != nil {
+	if m.pool != nil || m.cfg.Det {
+		// Det mode always rides the job path: it is the only transmit
+		// path wired for content-keyed draws and remote handoff, and it
+		// is nil-pool safe (pool methods degrade to plain allocation).
 		m.startJob(from, payload, false, false, 0, nil)
 		return
 	}
@@ -577,7 +849,7 @@ func (m *Medium) Broadcast(from NodeID, payload []byte) {
 // outcome is known: true when the frame was delivered, possibly after
 // Config.UnicastRetries retransmissions. The payload stays caller-owned.
 func (m *Medium) Unicast(from, to NodeID, payload []byte, acked func(bool)) {
-	if m.pool != nil {
+	if m.pool != nil || m.cfg.Det {
 		m.startJob(from, payload, false, true, to, acked)
 		return
 	}
@@ -608,8 +880,10 @@ func (m *Medium) transmitJob(j *txJob) {
 		m.dropJob(j)
 		return
 	}
+	j.txSeq = p.txSeq
+	p.txSeq++
 	now := m.sim.Now()
-	start := now.Add(m.sim.Jitter(m.cfg.BroadcastJitter))
+	start := now.Add(m.txJitter(p.id, j.txSeq))
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
@@ -690,8 +964,12 @@ func (m *Medium) completeJob(j *txJob) {
 
 	if j.unicast {
 		delivered := false
-		if o, ok := m.ports[j.to]; ok && o != p && !o.down && at.Dist2(o.pos(now)) <= r2 {
-			delivered = m.deliverJob(p, o, j)
+		if o, ok := m.ports[j.to]; ok {
+			if o != p && !o.down && at.Dist2(o.pos(now)) <= r2 {
+				delivered = m.deliverJob(p, o, j)
+			}
+		} else if m.cfg.Remote != nil {
+			delivered = m.remoteUnicast(p, j, at, now)
 		}
 		if !delivered {
 			m.stats.UnicastFails++
@@ -707,7 +985,7 @@ func (m *Medium) completeJob(j *txJob) {
 		if o == p || o.down || at.Dist2(o.pos(now)) > r2 {
 			return
 		}
-		if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+		if m.cfg.LossRate > 0 && m.lossDraw(p.id, j.txSeq, o.id) {
 			m.stats.LostFrames++
 			return
 		}
@@ -723,6 +1001,9 @@ func (m *Medium) completeJob(j *txJob) {
 			}
 		}
 	}
+	if m.cfg.Remote != nil {
+		m.postRemoteScans(p, j, at, now)
+	}
 	if len(b.ports) > 0 {
 		b.release = j.release
 		j.release = false // the batch owns the frame now
@@ -735,11 +1016,59 @@ func (m *Medium) completeJob(j *txJob) {
 	m.finishJob(j) // zero receivers: releases the frame right here
 }
 
+// postRemoteScans hands a broadcast to every other region whose nodes
+// could be within range: one read-only frame copy shared by all of them
+// (the local pooled buffer is released on schedule, so it cannot travel).
+func (m *Medium) postRemoteScans(p *port, j *txJob, at geom.Point, now sim.Time) {
+	r := m.cfg.Remote
+	m.scanRegions = r.ScanRegions(at, m.cfg.Range, m.scanRegions[:0])
+	if len(m.scanRegions) == 0 {
+		return
+	}
+	msg := ScanMsg{
+		From:  p.id,
+		Pos:   at,
+		Sent:  now,
+		At:    now.Add(m.cfg.PropDelay),
+		TxSeq: j.txSeq,
+		Frame: append([]byte(nil), j.payload...),
+	}
+	for _, reg := range m.scanRegions {
+		r.PostScan(reg, msg)
+	}
+}
+
+// remoteUnicast resolves a unicast whose target lives in another region.
+// The whole outcome — existence, range, up/down, loss — is decided here at
+// serialization end, exactly when a local target would decide it, so the
+// link-layer ACK timing is identical whichever region owns the receiver.
+func (m *Medium) remoteUnicast(p *port, j *txJob, at geom.Point, now sim.Time) bool {
+	r := m.cfg.Remote
+	if !r.Exists(j.to) || r.DownAt(j.to, now) {
+		return false
+	}
+	if at.Dist2(r.PosAt(j.to, now)) > m.cfg.Range*m.cfg.Range {
+		return false
+	}
+	if m.cfg.LossRate > 0 && m.lossDraw(p.id, j.txSeq, j.to) {
+		m.stats.LostFrames++
+		return false
+	}
+	m.stats.RxFrames++
+	r.PostDeliver(j.to, DeliverMsg{
+		From:  p.id,
+		To:    j.to,
+		At:    now.Add(m.cfg.PropDelay),
+		Frame: append([]byte(nil), j.payload...),
+	})
+	return true
+}
+
 // deliverJob applies the loss process to a unicast delivery and, when the
 // frame survives, schedules a single-receiver batch that releases the
 // frame after the handler runs.
 func (m *Medium) deliverJob(p, o *port, j *txJob) bool {
-	if m.cfg.LossRate > 0 && m.sim.Rand().Float64() < m.cfg.LossRate {
+	if m.cfg.LossRate > 0 && m.lossDraw(p.id, j.txSeq, o.id) {
 		m.stats.LostFrames++
 		return false
 	}
@@ -866,6 +1195,96 @@ func (m *Medium) complete(p *port, payload []byte, to *NodeID, acked func(bool))
 	}
 	if acked != nil {
 		acked(delivered)
+	}
+}
+
+// --- Boundary-crossing injection (the sharded engine's inbound side) ---
+
+type injectedScan struct {
+	m   *Medium
+	msg ScanMsg
+}
+
+type injectedDeliver struct {
+	m   *Medium
+	msg DeliverMsg
+}
+
+func runInjectScan(v any) {
+	s := v.(*injectedScan)
+	s.m.runRemoteScan(s.msg)
+}
+
+func runInjectDeliver(v any) {
+	d := v.(*injectedDeliver)
+	m := d.m
+	o, ok := m.ports[d.msg.To]
+	if !ok || o.down {
+		return
+	}
+	prev := m.sim.SetOwner(uint32(o.id) + 1)
+	o.handler.Deliver(d.msg.From, d.msg.Frame)
+	m.sim.SetOwner(prev)
+}
+
+// InjectScan schedules evaluation of a foreign region's broadcast against
+// this medium's ports. The event is stamped with the transmitter's
+// scheduling owner so that, at equal instants, it sorts against local
+// events exactly where the transmitter's delivery batch would have sorted
+// had both nodes shared a region. Called by the engine at exchange
+// barriers, while the region is quiescent.
+func (m *Medium) InjectScan(msg ScanMsg) {
+	prev := m.sim.SetOwner(uint32(msg.From) + 1)
+	m.sim.DoAtArg(msg.At, runInjectScan, &injectedScan{m: m, msg: msg})
+	m.sim.SetOwner(prev)
+}
+
+// InjectDeliver schedules delivery of a foreign region's unicast to the
+// local target port. Loss and range were already resolved sender-side;
+// only the receiver's up/down state at delivery time remains to check —
+// the same check a local delivery batch makes.
+func (m *Medium) InjectDeliver(msg DeliverMsg) {
+	prev := m.sim.SetOwner(uint32(msg.From) + 1)
+	m.sim.DoAtArg(msg.At, runInjectDeliver, &injectedDeliver{m: m, msg: msg})
+	m.sim.SetOwner(prev)
+}
+
+// runRemoteScan evaluates a boundary-crossing broadcast at its delivery
+// instant: receivers are sampled at msg.Sent (a pure past query — exactly
+// the instant the transmitter's region sampled its local receivers), the
+// loss process draws the same content-keyed hashes a local evaluation
+// would, and surviving receivers that are still up get the frame. The
+// candidate radius is widened by the drift a bounded node can accumulate
+// between Sent and now, on top of the usual bucketing slop.
+func (m *Medium) runRemoteScan(msg ScanMsg) {
+	r2 := m.cfg.Range * m.cfg.Range
+	rm := m.cfg.Remote
+	collect := func(o *port) {
+		if rm.DownAt(o.id, msg.Sent) {
+			return
+		}
+		if msg.Pos.Dist2(o.pos(msg.Sent)) > r2 {
+			return
+		}
+		if m.cfg.LossRate > 0 && m.lossDraw(msg.From, msg.TxSeq, o.id) {
+			m.stats.LostFrames++
+			return
+		}
+		m.stats.RxFrames++
+		if o.down { // went down between Sent and delivery
+			return
+		}
+		prev := m.sim.SetOwner(uint32(o.id) + 1)
+		o.handler.Deliver(msg.From, msg.Frame)
+		m.sim.SetOwner(prev)
+	}
+	if m.grid != nil {
+		extra := m.maxSpeed * m.cfg.PropDelay.Seconds()
+		m.gridForEachRadius(msg.Pos, m.sim.Now(), extra, collect)
+	} else {
+		for _, oid := range m.order {
+			collect(m.ports[oid])
+		}
 	}
 }
 

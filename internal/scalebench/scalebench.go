@@ -30,6 +30,7 @@ import (
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
 	"sbr6/internal/scenario"
+	"sbr6/internal/shard"
 	"sbr6/internal/sim"
 	"sbr6/internal/wire"
 )
@@ -163,6 +164,106 @@ func RunScale(n int, kind radio.IndexKind, seed int64, rounds int, now func() ti
 	}
 }
 
+// --- shard workload: the region-sharded engine vs its own serial mode ---
+//
+// The flood workload of the radio mode, run on the sharded simulation core:
+// the area is cut into ShardRegions x-sorted strips, each with its own event
+// loop and medium, synchronized by conservative lookahead. The baseline is
+// the engine at one region — not the plain medium — because the engine
+// forces content-derived radio draws, and only engine-vs-engine is proven
+// byte-identical (the differential suite in internal/shard). The ratio is
+// therefore a pure wall-clock speedup of the identical computation, which
+// is what lets it sit under the trend gate. This is also the only sweep
+// mode that reaches 100k nodes: the naive medium's O(N^2) round is
+// unaffordable there, while the sharded grid round stays linear.
+
+// ShardRegions is the region count of the sharded variant. Fixed rather
+// than NumCPU-derived so the recorded workload is identical on every
+// machine. Eight regions kept improving wall time past the available core
+// count in tuning (smaller per-region heaps and grids are a locality win
+// on their own), so the constant is set by the sweep, not by NumCPU.
+const ShardRegions = 8
+
+// ShardNetwork is the flood workload on the sharded engine.
+type ShardNetwork struct {
+	Eng *shard.Engine
+	N   int
+
+	payload []byte
+}
+
+// BuildShardNetwork constructs the workload at n nodes and the given region
+// count: the radio workload's constant-density placement and lossy links on
+// the spatial-grid index, but static — flood deliveries land nanoseconds
+// apart, so every conservative window holds thousands of events and the
+// cell measures parallel throughput. Mobility would interleave refresh
+// chains ~tens of microseconds apart, far sparser than the propagation
+// lookahead, turning most rounds into single-event synchronization — a
+// lookahead-starvation regime worth knowing about, but the differential
+// suite already covers mobility for correctness, and a throughput cell
+// drowned in it would gate nothing.
+func BuildShardNetwork(n, regions int, seed int64) *ShardNetwork {
+	cfg := radio.DefaultConfig()
+	cfg.Index = radio.IndexGrid
+	cfg.LossRate = 0.05
+
+	side := 125 * math.Sqrt(float64(n))
+	positions := mobility.UniformPlacement(geom.Rect{W: side, H: side}, n, newRand(seed))
+	eng := shard.New(shard.Config{Seed: seed, Regions: regions, Radio: cfg, Positions: positions})
+	for i := 0; i < n; i++ {
+		eng.AddNode(radio.NodeID(i), mobility.Static(positions[i]),
+			radio.HandlerFunc(func(radio.NodeID, []byte) {}))
+	}
+	return &ShardNetwork{Eng: eng, N: n, payload: make([]byte, 64)}
+}
+
+// Round performs one flood epoch: every node broadcasts a 64-byte frame as
+// an owned event and the engine drains all deliveries, cross-region ones
+// via the barrier exchange.
+func (sn *ShardNetwork) Round() {
+	at := sn.Eng.Now().Add(sim.Duration(time.Microsecond))
+	for i := 0; i < sn.N; i++ {
+		id := radio.NodeID(i)
+		sn.Eng.ScheduleOwnedAt(id, at, func() {
+			sn.Eng.NodeMedium(id).Broadcast(id, sn.payload)
+		})
+	}
+	sn.Eng.RunFor(sim.Duration(time.Second))
+}
+
+// RunShard measures the flood workload on the engine at n nodes. regions=1
+// is the serial baseline cell; ShardRegions is the sharded cell.
+func RunShard(n, regions int, seed int64, rounds int, now func() time.Time) ScaleResult {
+	sn := BuildShardNetwork(n, regions, seed)
+	sn.Round() // warm the grids, mobility legs and region partitions
+	baseEvents, baseStats := sn.Eng.Events(), sn.Eng.Stats()
+	start := now()
+	for r := 0; r < rounds; r++ {
+		sn.Round()
+	}
+	wall := now().Sub(start)
+	events := sn.Eng.Events() - baseEvents
+	stats := sn.Eng.Stats()
+	stats.TxFrames -= baseStats.TxFrames
+	stats.RxFrames -= baseStats.RxFrames
+	stats.LostFrames -= baseStats.LostFrames
+	name := "serial"
+	if regions > 1 {
+		name = "sharded"
+	}
+	return ScaleResult{
+		Mode:     "shard",
+		Nodes:    n,
+		Index:    name,
+		Rounds:   rounds,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6 / float64(rounds),
+		Events:   events,
+		TxFrames: stats.TxFrames,
+		RxFrames: stats.RxFrames,
+		Degree:   float64(stats.RxFrames+stats.LostFrames) / float64(stats.TxFrames),
+	}
+}
+
 // --- wire workload: the pooled zero-alloc wire path vs the allocating one ---
 //
 // The same flood traffic shape as the radio workload, but each broadcast
@@ -278,14 +379,15 @@ const FormationTTL = 5
 // sweep's constant density (~12 neighbours each), fast DAD timers, no
 // traffic — the run is the bootstrap itself.
 func BuildFormation(n int, k boot.Kind, seed int64) *scenario.Scenario {
-	return buildFormation(n, k, seed, audit.Config{})
+	return buildFormation(n, k, seed, audit.Config{}, radio.IndexAuto)
 }
 
-// buildFormation is BuildFormation with the audit sweep configuration the
-// audit workload layers on top.
-func buildFormation(n int, k boot.Kind, seed int64, ac audit.Config) *scenario.Scenario {
+// buildFormation is BuildFormation with the audit sweep configuration and
+// medium index the audit workload layers on top.
+func buildFormation(n int, k boot.Kind, seed int64, ac audit.Config, kind radio.IndexKind) *scenario.Scenario {
 	cfg := scenario.DefaultConfig()
 	cfg.Protocol.Audit = ac
+	cfg.Radio.Index = kind
 	cfg.Seed = seed
 	cfg.N = n
 	side := 125 * math.Sqrt(float64(n))
@@ -350,11 +452,48 @@ type AuditNetwork struct {
 // admission, constant density) with the audit sweep configured. The
 // bootstrap happens outside any timed region.
 func BuildAuditNetwork(n int, seed int64) *AuditNetwork {
-	sc := buildFormation(n, boot.PerCell, seed, audit.Config{Period: AuditPeriod, TTL: FormationTTL})
+	return BuildAuditNetworkIndexed(n, radio.IndexAuto, seed)
+}
+
+// BuildAuditNetworkIndexed is BuildAuditNetwork with the medium index
+// forced, so the sweep-cost cells can ratio the naive scan against the
+// spatial grid on the whole-protocol audit workload.
+func BuildAuditNetworkIndexed(n int, kind radio.IndexKind, seed int64) *AuditNetwork {
+	sc := buildFormation(n, boot.PerCell, seed, audit.Config{Period: AuditPeriod, TTL: FormationTTL}, kind)
 	if configured := sc.Bootstrap(); configured != n {
 		panic(fmt.Sprintf("scalebench: audit workload formation left %d/%d unaddressed", n-configured, n))
 	}
 	return &AuditNetwork{SC: sc, N: n}
+}
+
+// RunAuditSweep measures the per-sweep-period cost of the standing audit at
+// n nodes under the given medium index. Bootstrap happens outside the timed
+// region; the conflict-free invariant (zero steady-state verifications) is
+// enforced, never silently recorded.
+func RunAuditSweep(n int, kind radio.IndexKind, seed int64, rounds int, now func() time.Time) ScaleResult {
+	an := BuildAuditNetworkIndexed(n, kind, seed)
+	an.Round() // warm: neighbor tables and flood seen-sets
+	baseEvents := an.SC.S.Processed()
+	start := now()
+	for r := 0; r < rounds; r++ {
+		an.Round()
+	}
+	wall := now().Sub(start)
+	if ops := an.VerifyOps(); ops != 0 {
+		panic(fmt.Sprintf("scalebench: conflict-free audit sweep performed %d verifications", ops))
+	}
+	name := map[radio.IndexKind]string{radio.IndexNaive: "naive", radio.IndexGrid: "grid"}[kind]
+	if name == "" {
+		name = "auto"
+	}
+	return ScaleResult{
+		Mode:   "audit",
+		Nodes:  n,
+		Index:  name,
+		Rounds: rounds,
+		WallMS: float64(wall.Nanoseconds()) / 1e6 / float64(rounds),
+		Events: an.SC.S.Processed() - baseEvents,
+	}
 }
 
 // Round runs exactly one sweep period: each node advertises once at its

@@ -33,6 +33,8 @@ var ratioPairs = map[string]ratioPair{
 	"crypto":    {base: "nocache", opt: "cache"},
 	"formation": {base: "serial", opt: "percell"},
 	"wire":      {base: "nopool", opt: "pool"},
+	"shard":     {base: "serial", opt: "sharded"},
+	"audit":     {base: "naive", opt: "grid"},
 }
 
 // cellValue is the quantity a mode's ratio divides. Wall time for the

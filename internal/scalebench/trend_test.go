@@ -112,7 +112,7 @@ func TestTrendIgnoresIncompletePairs(t *testing.T) {
 	old := []ScaleResult{
 		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
 		// grid cell absent: no ratio can be formed
-		{Mode: "audit", Nodes: 1000, Index: "sweep", WallMS: 5}, // unknown mode
+		{Mode: "mystery", Nodes: 1000, Index: "sweep", WallMS: 5}, // unknown mode
 	}
 	new := []ScaleResult{
 		{Mode: "radio", Nodes: 1000, Index: "naive", WallMS: 40},
@@ -120,7 +120,7 @@ func TestTrendIgnoresIncompletePairs(t *testing.T) {
 	}
 	rows := Trend(old, new, 0.25)
 	if len(rows) != 2 {
-		t.Fatalf("got %d rows, want 2 (radio half-pair + unpaired audit mode)", len(rows))
+		t.Fatalf("got %d rows, want 2 (radio half-pair + unpaired mystery mode)", len(rows))
 	}
 	var sawUnpaired bool
 	for _, r := range rows {
@@ -129,7 +129,7 @@ func TestTrendIgnoresIncompletePairs(t *testing.T) {
 			if r.Missing != "old" || r.Regressed {
 				t.Errorf("half-pair mishandled: %+v", r)
 			}
-		case "audit":
+		case "mystery":
 			sawUnpaired = true
 			if r.Missing != "pair" || r.Regressed {
 				t.Errorf("unpaired mode mishandled: %+v", r)

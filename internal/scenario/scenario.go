@@ -24,6 +24,7 @@ import (
 	"sbr6/internal/ipv6"
 	"sbr6/internal/mobility"
 	"sbr6/internal/radio"
+	"sbr6/internal/shard"
 	"sbr6/internal/sim"
 	"sbr6/internal/trace"
 	"sbr6/internal/wire"
@@ -136,6 +137,13 @@ type Config struct {
 	// consecutive windows of the measurement phase so experiments can plot
 	// convergence over time (e.g. credits learning around a black hole).
 	WindowSize time.Duration
+
+	// Shards, when positive, runs the scenario on the region-sharded
+	// engine (internal/shard) with that many regions. Shards=1 is the
+	// engine's serial baseline: identical event ordering rules to any
+	// higher count, so its Results are byte-comparable across counts.
+	// Zero keeps the historical single-loop path.
+	Shards int
 }
 
 // DefaultConfig is a 25-node static uniform network under the secure
@@ -260,8 +268,13 @@ func effectiveRange(cfg Config) float64 {
 
 // Scenario is a built simulation ready to run.
 type Scenario struct {
-	Cfg    Config
-	S      *sim.Simulator
+	Cfg Config
+	// S is the simulator driving global time. Under sharding it is the
+	// engine's barrier-synchronized Global simulator: events scheduled on
+	// it run only while every region is idle.
+	S *sim.Simulator
+	// Medium is the single shared channel of the serial path; nil when
+	// the scenario runs sharded (each region owns its own medium).
 	Medium *radio.Medium
 	Nodes  []*core.Node
 	DNSSrv *dnssrv.Server
@@ -280,7 +293,28 @@ type Scenario struct {
 	bootOffsets  []time.Duration
 	bootHorizon  time.Duration
 	mergeDone    time.Duration // latest partition glide arrival; 0 = no partition
+
+	// eng is the region-sharded engine, nil on the serial path.
+	eng *shard.Engine
+	// flowLogs defers the shared flow bookkeeping under sharding: send
+	// and delivery events append to their own region's log, and the
+	// engine replays the merged logs in deterministic order at barriers.
+	flowLogs [][]flowLogEntry
 }
+
+// flowLogEntry is one deferred flow-bookkeeping action.
+type flowLogEntry struct {
+	at   sim.Time
+	kind uint8 // flowSend sorts before flowDeliver at the same instant
+	flow uint32
+	seq  uint32
+}
+
+// Flow log entry kinds.
+const (
+	flowSend    uint8 = 0
+	flowDeliver uint8 = 1
+)
 
 type flowPacket struct {
 	flow uint32
@@ -389,10 +423,8 @@ func Build(cfg Config) (*Scenario, error) {
 		}
 	}
 
-	s := sim.New(cfg.Seed)
-	medium := radio.New(s, cfg.Radio)
 	sc := &Scenario{
-		Cfg: cfg, S: s, Medium: medium,
+		Cfg:       cfg,
 		sent:      make(map[flowPacket]sim.Time),
 		flowStats: make(map[int]*flowStat),
 	}
@@ -414,7 +446,27 @@ func Build(cfg Config) (*Scenario, error) {
 	// after the bootstrap phase.
 	formationPos := positions
 	if cfg.Partition.Nodes > 0 {
-		formationPos = stagePartition(cfg, positions, medium.Config().Range)
+		formationPos = stagePartition(cfg, positions, effectiveRange(cfg))
+	}
+
+	// The simulation substrate: one shared simulator and medium on the
+	// serial path, or the region-sharded engine. Regions are partitioned
+	// from the formation-start positions — ownership is a load-balancing
+	// choice fixed at build time, so nodes that later roam (or glide in
+	// from a staged partition) keep their home region.
+	if cfg.Shards > 0 {
+		sc.eng = shard.New(shard.Config{
+			Seed:      cfg.Seed,
+			Regions:   cfg.Shards,
+			Radio:     cfg.Radio,
+			Positions: formationPos,
+		})
+		sc.S = sc.eng.Global
+		sc.flowLogs = make([][]flowLogEntry, sc.eng.Regions())
+		sc.eng.OnBarrier = sc.replayFlowLogs
+	} else {
+		sc.S = sim.New(cfg.Seed)
+		sc.Medium = radio.New(sc.S, cfg.Radio)
 	}
 
 	// The admission schedule is fixed at build time from the formation-start
@@ -429,7 +481,7 @@ func Build(cfg Config) (*Scenario, error) {
 		Seed:         cfg.Seed,
 		Window:       cfg.Protocol.DAD.ObjectionWindow(),
 		Stagger:      cfg.BootStagger,
-		Cell:         medium.Config().Range,
+		Cell:         effectiveRange(cfg),
 		Anchor:       0, // the DNS server must be up before anyone needs it
 		Positions:    formationPos,
 		CellFraction: cfg.BootCellFraction,
@@ -453,12 +505,24 @@ func Build(cfg Config) (*Scenario, error) {
 			}
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + 9000 + int64(i))) //sbr6:allow simrng seed-derived per-node protocol stream owned by Build
-		n := core.New(s, medium, radio.NodeID(i), ident, dnsIdent.Pub, cfg.Protocol, rng, nil)
+		ns, nm := sc.S, sc.Medium
+		var prevOwner uint32
+		if sc.eng != nil {
+			// The node lives on its region's simulator and medium, and
+			// everything it ever schedules — starting with construction-time
+			// timers — is stamped with its own causal stream.
+			ns, nm = sc.eng.NodeSim(radio.NodeID(i)), sc.eng.NodeMedium(radio.NodeID(i))
+			prevOwner = ns.SetOwner(uint32(i) + 1)
+		}
+		n := core.New(ns, nm, radio.NodeID(i), ident, dnsIdent.Pub, cfg.Protocol, rng, nil)
 		if i == 0 {
 			dcfg := cfg.DNS
 			dcfg.Suite = cfg.Protocol.Suite
-			sc.DNSSrv = dnssrv.New(s, rng, dnsIdent, dcfg, nil)
+			sc.DNSSrv = dnssrv.New(ns, rng, dnsIdent, dcfg, nil)
 			n.AttachDNS(sc.DNSSrv)
+		}
+		if sc.eng != nil {
+			ns.SetOwner(prevOwner)
 		}
 		if b, hostile := cfg.Behaviors[i]; hostile {
 			n.Behavior = b
@@ -478,12 +542,21 @@ func Build(cfg Config) (*Scenario, error) {
 		} else {
 			track = buildTrack(cfg, positions[i], i)
 		}
-		medium.AddNode(radio.NodeID(i), track.Position, n)
-		// Declare the track's speed bound so the medium's spatial index can
-		// re-bucket lazily; tracks that cannot bound themselves stay
-		// unbounded and are re-bucketed exactly.
-		if bt, ok := track.(mobility.Bounded); ok {
-			medium.SetSpeedBound(radio.NodeID(i), bt.SpeedBound())
+		if sc.eng != nil {
+			sc.eng.AddNode(radio.NodeID(i), track, n)
+		} else {
+			sc.Medium.AddNode(radio.NodeID(i), track.Position, n)
+			// Declare the track's speed bound so the medium's spatial index
+			// can re-bucket lazily; tracks that cannot bound themselves stay
+			// unbounded and are re-bucketed exactly.
+			if bt, ok := track.(mobility.Bounded); ok {
+				sc.Medium.SetSpeedBound(radio.NodeID(i), bt.SpeedBound())
+			}
+			// Tracks that can announce their own drift get event-driven
+			// per-leg re-bucketing instead of the O(movers) query-time sweep.
+			if rf, ok := track.(mobility.Refresher); ok {
+				sc.Medium.SetRefresher(radio.NodeID(i), rf.NextRefresh)
+			}
 		}
 		sc.Nodes = append(sc.Nodes, n)
 	}
@@ -570,9 +643,13 @@ func (sc *Scenario) BootOffsets() []time.Duration {
 func (sc *Scenario) Bootstrap() int {
 	for i, n := range sc.Nodes {
 		n := n
-		sc.S.After(sc.bootOffsets[i], n.Start)
+		if sc.eng != nil {
+			sc.eng.ScheduleOwnedAt(radio.NodeID(i), sc.S.Now().Add(sc.bootOffsets[i]), n.Start)
+		} else {
+			sc.S.After(sc.bootOffsets[i], n.Start)
+		}
 	}
-	sc.S.RunFor(sc.bootHorizon)
+	sc.RunFor(sc.bootHorizon)
 	configured := 0
 	for _, n := range sc.Nodes {
 		if n.Configured() {
@@ -602,10 +679,27 @@ func (sc *Scenario) StartAuditSweeps(span time.Duration) {
 	for i, n := range sc.Nodes {
 		n := n
 		for t := audit.Offset(sc.Cfg.Seed, i, period); t < span; t += period {
-			sc.S.After(t, n.AuditAdvertise)
+			if sc.eng != nil {
+				sc.eng.ScheduleOwnedAt(radio.NodeID(i), sc.S.Now().Add(t), n.AuditAdvertise)
+			} else {
+				sc.S.After(t, n.AuditAdvertise)
+			}
 		}
 	}
 }
+
+// RunFor advances the simulation by d: directly on the serial path,
+// through the barrier protocol when sharded.
+func (sc *Scenario) RunFor(d time.Duration) {
+	if sc.eng != nil {
+		sc.eng.RunFor(d)
+		return
+	}
+	sc.S.RunFor(d)
+}
+
+// Engine returns the region-sharded engine, or nil on the serial path.
+func (sc *Scenario) Engine() *shard.Engine { return sc.eng }
 
 // Run executes the full experiment: bootstrap, warmup, measured traffic,
 // cooldown; it returns the aggregated result.
@@ -617,11 +711,16 @@ func (sc *Scenario) Run() *Result {
 	res.DADFailed = sc.Cfg.N - res.Configured
 
 	sc.StartAuditSweeps(sc.Cfg.Warmup + sc.Cfg.Duration + sc.Cfg.Cooldown)
-	sc.S.RunFor(sc.Cfg.Warmup)
+	sc.RunFor(sc.Cfg.Warmup)
 	sc.measureStart = sc.S.Now()
 	sc.startFlows()
 	sc.scheduleWindowEmissions()
-	sc.S.RunFor(sc.Cfg.Duration + sc.Cfg.Cooldown)
+	sc.RunFor(sc.Cfg.Duration + sc.Cfg.Cooldown)
+	if sc.eng != nil {
+		// A stopped run skips the engine's final barrier; the replay is
+		// idempotent over drained logs, so flush unconditionally.
+		sc.replayFlowLogs()
+	}
 
 	// Aggregate.
 	lat := trace.NewMetrics()
@@ -644,7 +743,11 @@ func (sc *Scenario) Run() *Result {
 	res.DataBytes = res.Metrics.Get("tx.bytes.data")
 	res.CryptoSign = res.Metrics.Get("crypto.sign")
 	res.CryptoVerify = res.Metrics.Get("crypto.verify")
-	res.Link = sc.Medium.Stats()
+	if sc.eng != nil {
+		res.Link = sc.eng.Stats()
+	} else {
+		res.Link = sc.Medium.Stats()
+	}
 	res.Windows = sc.windows
 	return res
 }
@@ -686,6 +789,11 @@ func (sc *Scenario) startFlows() {
 		src, dst := sc.Nodes[f.From], sc.Nodes[f.To]
 		flowID := uint32(fi + 1)
 
+		if sc.eng != nil {
+			sc.startFlowSharded(f, flowID, src, dst)
+			continue
+		}
+
 		prevOnData := dst.OnData
 		dst.OnData = func(from ipv6.Addr, d *wire.Data) {
 			if prevOnData != nil {
@@ -726,11 +834,140 @@ func (sc *Scenario) startFlows() {
 	}
 }
 
+// startFlowSharded wires one flow under the engine. The send events and
+// the delivery hook run inside region event loops, so instead of mutating
+// the shared bookkeeping directly — the sent map, window counters and the
+// source's latency samples are all order-sensitive — they append to their
+// own region's log; replayFlowLogs applies the merged logs in a
+// shard-count-independent order at each barrier.
+func (sc *Scenario) startFlowSharded(f Flow, flowID uint32, src, dst *core.Node) {
+	srcID, dstID := radio.NodeID(f.From), radio.NodeID(f.To)
+	srcRegion, dstRegion := sc.eng.RegionOf(srcID), sc.eng.RegionOf(dstID)
+	srcSim, dstSim := sc.eng.NodeSim(srcID), sc.eng.NodeSim(dstID)
+	// The destination address is captured once, here, while every region
+	// is idle: reading it from inside the source's event loop would cross
+	// region ownership. Flows target post-formation addresses, so the
+	// snapshot is the address the serial path would read too.
+	dstAddr := dst.Addr()
+
+	prevOnData := dst.OnData
+	dst.OnData = func(from ipv6.Addr, d *wire.Data) {
+		if prevOnData != nil {
+			prevOnData(from, d)
+		}
+		if d.FlowID != flowID {
+			return
+		}
+		sc.flowLogs[dstRegion] = append(sc.flowLogs[dstRegion],
+			flowLogEntry{at: dstSim.Now(), kind: flowDeliver, flow: d.FlowID, seq: d.Seq})
+	}
+
+	count := int((sc.Cfg.Duration - f.Start) / f.Interval)
+	payload := make([]byte, f.Size)
+	base := sc.S.Now()
+	for k := 0; k < count; k++ {
+		at := base.Add(f.Start + time.Duration(k)*f.Interval)
+		sc.eng.ScheduleOwnedAt(srcID, at, func() {
+			_, seq := src.SendFlow(dstAddr, flowID, payload)
+			sc.flowLogs[srcRegion] = append(sc.flowLogs[srcRegion],
+				flowLogEntry{at: srcSim.Now(), kind: flowSend, flow: flowID, seq: seq})
+		})
+	}
+}
+
+// replayFlowLogs drains the per-region flow logs and applies them to the
+// shared bookkeeping in (at, kind, flow, seq) order. The engine invokes it
+// at every barrier — all regions have quiesced strictly below the global
+// clock, so every logged instant is final — and Run flushes once more
+// before aggregating. Sends sort before deliveries at the same instant,
+// matching the serial path where a packet cannot land before SendFlow
+// recorded it; duplicate deliveries fall out exactly as they do serially,
+// because only the first replayed delivery finds its packet tracked.
+func (sc *Scenario) replayFlowLogs() {
+	total := 0
+	for i := range sc.flowLogs {
+		total += len(sc.flowLogs[i])
+	}
+	if total == 0 {
+		return
+	}
+	batch := make([]flowLogEntry, 0, total)
+	for i := range sc.flowLogs {
+		batch = append(batch, sc.flowLogs[i]...)
+		sc.flowLogs[i] = sc.flowLogs[i][:0]
+	}
+	sort.Slice(batch, func(a, b int) bool {
+		x, y := batch[a], batch[b]
+		if x.at != y.at {
+			return x.at < y.at
+		}
+		if x.kind != y.kind {
+			return x.kind < y.kind
+		}
+		if x.flow != y.flow {
+			return x.flow < y.flow
+		}
+		return x.seq < y.seq
+	})
+	for _, e := range batch {
+		st := sc.flowStats[int(e.flow)-1]
+		key := flowPacket{e.flow, e.seq}
+		if e.kind == flowSend {
+			sc.sent[key] = e.at
+			st.sent++
+			if w := sc.windowAt(sc.windowIndex(e.at)); w != nil {
+				w.Sent++
+			}
+			continue
+		}
+		sentAt, tracked := sc.sent[key]
+		if !tracked {
+			continue // duplicate or out-of-window
+		}
+		delete(sc.sent, key)
+		st.delivered++
+		srcIdx := sc.Cfg.Flows[int(e.flow)-1].From
+		sc.Nodes[srcIdx].Metrics().Observe("e2e.latency_s", e.at.Sub(sentAt).Seconds())
+		if w := sc.windowAt(sc.windowIndex(sentAt)); w != nil {
+			w.Delivered++
+		}
+	}
+}
+
 // Components returns the connected components of the unit-disk graph at
 // the current instant, as slices of node indices. Experiments use it to
 // distinguish protocol failures from plain partitions.
 func (sc *Scenario) Components() [][]int {
 	n := sc.Cfg.N
+	neighbors := func(i int, visit func(nb int)) {
+		for _, nb := range sc.Medium.Neighbors(radio.NodeID(i)) {
+			visit(int(nb))
+		}
+	}
+	if sc.eng != nil {
+		// Ports are spread across region media, so assemble a global
+		// snapshot: positions at the current barrier instant in one grid.
+		r := effectiveRange(sc.Cfg)
+		pos := make([]geom.Point, n)
+		grid := geom.NewGrid(r)
+		for i := 0; i < n; i++ {
+			pos[i] = sc.eng.PosNow(radio.NodeID(i))
+			if !sc.eng.IsDown(radio.NodeID(i)) {
+				grid.Set(i, pos[i])
+			}
+		}
+		r2 := r * r
+		neighbors = func(i int, visit func(nb int)) {
+			if sc.eng.IsDown(radio.NodeID(i)) {
+				return
+			}
+			grid.Visit(pos[i], r, func(id int) {
+				if id != i && pos[i].Dist2(pos[id]) <= r2 {
+					visit(id)
+				}
+			})
+		}
+	}
 	visited := make([]bool, n)
 	var comps [][]int
 	for start := 0; start < n; start++ {
@@ -740,12 +977,12 @@ func (sc *Scenario) Components() [][]int {
 		comp := []int{start}
 		visited[start] = true
 		for i := 0; i < len(comp); i++ {
-			for _, nb := range sc.Medium.Neighbors(radio.NodeID(comp[i])) {
-				if !visited[int(nb)] {
-					visited[int(nb)] = true
-					comp = append(comp, int(nb))
+			neighbors(comp[i], func(nb int) {
+				if !visited[nb] {
+					visited[nb] = true
+					comp = append(comp, nb)
 				}
-			}
+			})
 		}
 		comps = append(comps, comp)
 	}

@@ -1,0 +1,74 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"sbr6/internal/geom"
+	"sbr6/internal/mobility"
+	"sbr6/internal/radio"
+	"sbr6/internal/shard"
+	"sbr6/internal/sim"
+)
+
+// The raw-medium boundary crossings — broadcast into a neighbor region,
+// unicast in both directions with the ack resolving on the sender — are the
+// primitives every protocol exchange reduces to. Exercising them without
+// the protocol stack pins blame precisely when the differential suite
+// regresses.
+func TestCrossRegionPrimitives(t *testing.T) {
+	eng := shard.New(shard.Config{
+		Seed:      1,
+		Regions:   2,
+		Radio:     radio.DefaultConfig(),
+		Positions: []geom.Point{{X: 100, Y: 100}, {X: 200, Y: 100}},
+	})
+	var got []string
+	mk := func(name string) radio.Handler {
+		return radio.HandlerFunc(func(from radio.NodeID, payload []byte) {
+			got = append(got, name+string(payload))
+		})
+	}
+	eng.AddNode(0, mobility.Static(geom.Point{X: 100, Y: 100}), mk("n0:"))
+	eng.AddNode(1, mobility.Static(geom.Point{X: 200, Y: 100}), mk("n1:"))
+	if eng.RegionOf(0) == eng.RegionOf(1) {
+		t.Fatal("nodes share a region; test is vacuous")
+	}
+	eng.ScheduleOwnedAt(0, sim.Time(time.Millisecond), func() {
+		eng.NodeMedium(0).Broadcast(0, []byte("bc"))
+	})
+	acked := -1
+	eng.ScheduleOwnedAt(0, sim.Time(10*time.Millisecond), func() {
+		eng.NodeMedium(0).Unicast(0, 1, []byte("uc"), func(ok bool) {
+			if ok {
+				acked = 1
+			} else {
+				acked = 0
+			}
+		})
+	})
+	eng.ScheduleOwnedAt(1, sim.Time(20*time.Millisecond), func() {
+		eng.NodeMedium(1).Unicast(1, 0, []byte("re"), nil)
+	})
+	eng.RunFor(time.Second)
+
+	want := []string{"n1:bc", "n1:uc", "n0:re"}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries = %v, want %v", got, want)
+		}
+	}
+	if acked != 1 {
+		t.Fatalf("cross-region unicast ack = %d, want 1", acked)
+	}
+	st := eng.Stats()
+	if st.BroadcastSent != 1 || st.UnicastSent != 2 || st.RxFrames != 3 {
+		t.Fatalf("stats = %+v, want 1 broadcast / 2 unicasts / 3 receptions", st)
+	}
+	if eng.Now() != sim.Time(time.Second) {
+		t.Fatalf("global clock = %v after drain, want 1s", eng.Now())
+	}
+}

@@ -38,12 +38,13 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // static function over a recycled state object instead of allocating a
 // closure per event. Exactly one of fn/afn is set.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO for equal timestamps
-	fn  func()
-	afn func(any)
-	arg any
-	idx int // heap index, -1 when popped
+	at    Time
+	owner uint32 // scheduling owner; 0 outside owner mode (see SetOwner)
+	seq   uint64 // tie-breaker: FIFO for equal (at, owner)
+	fn    func()
+	afn   func(any)
+	arg   any
+	idx   int // heap index, -1 when popped
 
 	// pooled marks handle-free events (Do/DoAt/DoArg/DoAtArg): no Timer
 	// ever references them, so Step recycles the struct after it fires.
@@ -52,18 +53,29 @@ type event struct {
 	pooled bool
 }
 
-// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq). The
-// ordering is a strict total order (seq is unique), so any correct heap
-// pops events in exactly the same sequence — switching the shape or
-// implementation cannot change simulation results. Compared to
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, owner, seq).
+// The ordering is a strict total order (seq is unique per owner), so any
+// correct heap pops events in exactly the same sequence — switching the
+// shape or implementation cannot change simulation results. Compared to
 // container/heap it avoids the interface dispatch per comparison and, being
 // 4-ary, halves the tree depth; the event queue is the hottest structure
 // in large simulations.
+//
+// Outside owner mode every event has owner 0 and a globally increasing
+// seq, so the order degenerates to the historical (at, seq) FIFO. In owner
+// mode (the sharded engine) seq is drawn from a per-owner counter: ties at
+// one instant resolve by owner id first and by each owner's own causal
+// order second — a key that does not depend on how events from different
+// owners interleaved while being scheduled, which is exactly what makes
+// the merged execution order independent of the shard count.
 type eventHeap []*event
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.owner != b.owner {
+		return a.owner < b.owner
 	}
 	return a.seq < b.seq
 }
@@ -164,6 +176,18 @@ type Simulator struct {
 	processed uint64
 	stopped   bool
 
+	// horizon is the live bound of an in-progress RunBelow, re-read before
+	// every event so TightenHorizon can shrink the round from inside one.
+	horizon Time
+
+	// Owner mode (the sharded engine): when enabled, every scheduled
+	// event carries the current owner id and a seq from that owner's
+	// private counter instead of the global one. Disabled (the default)
+	// nothing changes: owner stays 0 and seq is the global counter.
+	ownerMode bool
+	owner     uint32
+	ownerSeq  []uint64
+
 	// freeEvents recycles fired handle-free events. Frame schedules are
 	// the hottest allocation in large simulations; recycling the event
 	// structs (the closures are the callers' problem — see DoArg) keeps
@@ -190,6 +214,52 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // Pending reports how many events are waiting in the queue.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// EnableOwners switches the simulator into owner mode: from now on every
+// scheduled event is keyed (at, owner, per-owner seq) instead of (at,
+// global seq). The sharded engine enables it on each region simulator so
+// that same-instant ties resolve by a key independent of how events from
+// different nodes interleaved while being scheduled. Must be called before
+// any event is scheduled; enabling it mid-run would mix the two key
+// disciplines.
+func (s *Simulator) EnableOwners() {
+	if s.seq != 0 || len(s.queue) != 0 {
+		panic("sim: EnableOwners after events were scheduled")
+	}
+	s.ownerMode = true
+}
+
+// SetOwner sets the owner id stamped on subsequently scheduled events and
+// returns the previous owner. Owner 0 is reserved for global/harness
+// events, which therefore sort before any node's events at the same
+// instant; the sharded engine uses node id + 1 for node-owned events. A
+// no-op (always returning 0) outside owner mode.
+func (s *Simulator) SetOwner(o uint32) uint32 {
+	prev := s.owner
+	s.owner = o
+	return prev
+}
+
+// Owner returns the current scheduling owner id.
+func (s *Simulator) Owner() uint32 { return s.owner }
+
+// nextKey mints the ordering key for a newly scheduled event.
+func (s *Simulator) nextKey() (owner uint32, seq uint64) {
+	if !s.ownerMode {
+		seq = s.seq
+		s.seq++
+		return 0, seq
+	}
+	o := s.owner
+	if int(o) >= len(s.ownerSeq) {
+		grown := make([]uint64, int(o)+1)
+		copy(grown, s.ownerSeq)
+		s.ownerSeq = grown
+	}
+	seq = s.ownerSeq[o]
+	s.ownerSeq[o]++
+	return o, seq
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (or at
 // the current instant) runs the event at the current time, after all events
 // already scheduled for that time.
@@ -200,8 +270,8 @@ func (s *Simulator) At(t Time, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
+	ev := &event{at: t, fn: fn}
+	ev.owner, ev.seq = s.nextKey()
 	s.queue.push(ev)
 	return &Timer{sim: s, ev: ev}
 }
@@ -239,8 +309,8 @@ func (s *Simulator) DoAt(t Time, fn func()) {
 		t = s.now
 	}
 	ev := s.takeEvent()
-	ev.at, ev.seq, ev.fn = t, s.seq, fn
-	s.seq++
+	ev.at, ev.fn = t, fn
+	ev.owner, ev.seq = s.nextKey()
 	s.queue.push(ev)
 }
 
@@ -266,8 +336,8 @@ func (s *Simulator) DoAtArg(t Time, fn func(any), arg any) {
 		t = s.now
 	}
 	ev := s.takeEvent()
-	ev.at, ev.seq, ev.afn, ev.arg = t, s.seq, fn, arg
-	s.seq++
+	ev.at, ev.afn, ev.arg = t, fn, arg
+	ev.owner, ev.seq = s.nextKey()
 	s.queue.push(ev)
 }
 
@@ -289,6 +359,14 @@ func (s *Simulator) Step() bool {
 	ev := s.queue.pop()
 	s.now = ev.at
 	s.processed++
+	if s.ownerMode {
+		// The firing event's owner becomes the scheduling context: events
+		// a callback schedules belong to the same causal stream unless it
+		// says otherwise (SetOwner). This is what makes ownership an
+		// inherited property rather than something every call site threads
+		// through by hand.
+		s.owner = ev.owner
+	}
 	fn, afn, arg := ev.fn, ev.afn, ev.arg
 	if ev.pooled {
 		// Recycle before firing: the callback may itself schedule events
@@ -311,18 +389,68 @@ func (s *Simulator) Run() {
 }
 
 // RunUntil processes events with timestamps <= deadline and then sets the
-// clock to deadline (if it has not already passed it).
+// clock to deadline (if it has not already passed it). If Stop fired
+// mid-run the clock stays frozen at the last processed event — reporting
+// virtual time the run never simulated would misattribute every rate
+// metric computed from Now.
 func (s *Simulator) RunUntil(deadline Time) {
 	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= deadline {
 		s.Step()
 	}
-	if s.now < deadline {
+	if !s.stopped && s.now < deadline {
 		s.now = deadline
 	}
 }
 
 // RunFor advances the simulation by d virtual time.
 func (s *Simulator) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// NextAt peeks the timestamp of the earliest pending event. ok is false
+// when the queue is empty.
+func (s *Simulator) NextAt() (t Time, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// RunBelow processes events with timestamps strictly before horizon and
+// leaves the clock at the last processed event — unlike RunUntil it never
+// advances the clock past real work. The sharded engine drives each region
+// with conservative horizons this way; the strict bound keeps an event at
+// exactly the horizon (where a cross-region message could still land)
+// untouched until the next round. Events may shrink the remaining horizon
+// mid-run via TightenHorizon.
+func (s *Simulator) RunBelow(horizon Time) {
+	s.horizon = horizon
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at < s.horizon {
+		s.Step()
+	}
+	s.horizon = 0
+}
+
+// TightenHorizon lowers the bound of an in-progress RunBelow. The sharded
+// engine calls it when an event emits a cross-region message: a peer may
+// react to a message sent at u and reflect one back as early as u + 2L, a
+// feedback path the round-start horizon (computed from peers' then-pending
+// events) cannot see. Without the cap a region whose peers look idle would
+// free-run to the round limit and receive every reply in its virtual past.
+// No-op outside RunBelow or when the bound is already at or below t.
+func (s *Simulator) TightenHorizon(t Time) {
+	if s.horizon > t {
+		s.horizon = t
+	}
+}
+
+// AdvanceTo moves the clock forward to t without processing anything, a
+// no-op if the clock already passed t or the simulator is stopped. The
+// sharded engine uses it to align region clocks with the global deadline
+// once every region has quiesced.
+func (s *Simulator) AdvanceTo(t Time) {
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
 
 // Stop halts Run/RunUntil after the current event returns.
 func (s *Simulator) Stop() { s.stopped = true }
@@ -342,8 +470,14 @@ func (t *Timer) Cancel() bool {
 	if t == nil || t.ev == nil || t.ev.idx < 0 {
 		return false
 	}
+	if t.ev.pooled {
+		// The comment on event.pooled promises Timers never reference
+		// pooled events; a recycled struct under a live Timer could cancel
+		// an unrelated later event, so enforce it instead of trusting it.
+		panic("sim: Timer bound to a pooled event")
+	}
 	t.sim.queue.remove(t.ev.idx)
-	t.ev.fn = nil
+	t.ev.fn, t.ev.afn, t.ev.arg = nil, nil, nil
 	t.ev = nil
 	return true
 }

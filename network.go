@@ -59,8 +59,10 @@ func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
 // objection window closes; it returns how many configured successfully.
 func (nw *Network) Bootstrap() int { return nw.sc.Bootstrap() }
 
-// RunFor advances the simulation by d of virtual time.
-func (nw *Network) RunFor(d time.Duration) { nw.sc.S.RunFor(d) }
+// RunFor advances the simulation by d of virtual time. Under WithShards
+// this drives the sharded engine's barrier loop; otherwise the serial
+// kernel directly.
+func (nw *Network) RunFor(d time.Duration) { nw.sc.RunFor(d) }
 
 // Now returns the current virtual time since the start of the run.
 func (nw *Network) Now() time.Duration { return time.Duration(nw.sc.S.Now()) }
