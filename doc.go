@@ -148,6 +148,26 @@
 // primitive-operation savings are reported by the cache's own Stats.
 // The cache is on by default; WithVerifyCache bounds or disables it.
 //
+// # Shared binding table
+//
+// The per-node memo dedups repeated checks across time at one node; the
+// shared CGA-binding table (internal/bindtable) dedups the first check
+// across nodes. One read-mostly table per simulation — or one per
+// region under WithShards, populated only by that region's event loop
+// and exchanged at no barrier — maps the content digest of one
+// (address, public key, modifier) binding to its cga.Verify verdict, so
+// a flood binding verified by any node is served, positive or negative,
+// to every later node in the same region. Verdicts are pure functions
+// of the digested bytes, so serving one changes no behavior: table on,
+// off and paranoid (every served verdict recomputed, disagreement
+// panics) runs are byte-for-byte identical, enforced by the
+// differential suite in internal/bindtable across the scenario matrix,
+// seeds and shard counts, with cross-node poisoning probes in
+// internal/bindtable and internal/core. The crypto.verify metric still
+// counts logical requests per node; primitives absorbed across nodes
+// are the table's own Stats. On by default beneath every node's memo;
+// WithBindingTable bounds or disables it.
+//
 // # The region-sharded core
 //
 // WithShards(n) runs the simulation on the region-sharded engine
@@ -182,11 +202,13 @@
 //
 // The determinism disciplines those differential suites check
 // dynamically are also machine-checked statically: cmd/sbr6lint runs
-// four analyzers over the sim-path packages on every commit (via go vet
+// five analyzers over the sim-path packages on every commit (via go vet
 // -vettool in CI) — maprange (no map-iteration order on sim paths),
 // walltime (no wall clock, no global math/rand), simrng (RNG streams
 // minted only by annotated seed-derived owners; crypto/rand confined to
-// identity keygen) and globalstate (no package-level mutable vars).
+// identity keygen), globalstate (no package-level mutable vars) and
+// directverify (no direct cga.Verify calls bypassing the memoized
+// verification path).
 // Exceptions require a reasoned //sbr6:allow or //sbr6:commutative
 // annotation, inventoried by `sbr6lint -list-allows`. globalstate in
 // particular is what makes the region-sharded core's ownership rules

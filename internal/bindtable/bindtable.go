@@ -1,0 +1,193 @@
+// Package bindtable shares CGA-binding verdicts *across nodes*: a
+// read-mostly table mapping a content digest of one (addr, pk, rn)
+// binding to the result of cga.Verify over exactly those bytes. The
+// per-node memo (internal/verifycache) dedups repeated checks across
+// time at one node; this table dedups the first check across the whole
+// simulation — at 10k+ nodes the same flood binding is otherwise
+// recomputed once per hearer, thousands of times per sweep.
+//
+// Ownership. There is no locking here, by design. One table serves one
+// event loop: the whole simulation on the serial path, or one region
+// under the sharded core (internal/shard builds one table per region,
+// populated only by that region's loop and exchanged at no barrier).
+// Cross-region dedup is deliberately left on the floor — a binding
+// heard in two regions is computed twice — because sharing a table
+// across loops would need locks on the hottest verification path and a
+// cross-region happens-before story; region-local by construction
+// keeps the sharded engine's ownership discipline (and sbr6lint's
+// globalstate invariant) intact for free.
+//
+// Why sharing verdicts between nodes is safe under the adversary
+// model: cga.Verify is a pure function of (addr, pk, rn), and the key
+// digests every byte of that input (fixed-width address and modifier,
+// length-prefixed key), so a hit can only serve the verdict of an
+// identical binding — recomputing would return the same answer. No
+// node-local state enters the verdict, so the paper's "every node
+// independently verifies" collapses to "some node verified these exact
+// bytes". Negative verdicts are shared too: a forged binding rejected
+// at one node is rejected from the table at every other node, which
+// blunts (never amplifies) flooding with invalid bindings — the
+// poisoning probes in this package and internal/core prove that
+// property end to end. An adversary who wants the table to serve a
+// wrong verdict needs a SHA-256 collision.
+//
+// Results stay byte-identical with the table on, off or in paranoid
+// mode, because verdicts are all a caller can observe; only the
+// table's own Stats (and wall clock) change. Paranoid mode is the
+// differential arm proving exactly that: every hit is recomputed and
+// any disagreement panics the run.
+//
+// The table is read-mostly and append-only: verdicts never change, so
+// there is nothing to invalidate and no eviction order to get right —
+// once full it stops inserting (Stats.Dropped counts the overflow) and
+// the per-node LRUs above absorb the recency behavior. The bound caps
+// an adversary minting unlimited fresh forged bindings at a memory
+// ceiling; past it, forgeries cost their minter a full recompute per
+// hearer again while honest verdicts already resident keep serving.
+package bindtable
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"sbr6/internal/cga"
+	"sbr6/internal/ipv6"
+)
+
+// DefaultEntries bounds the table when the owner does not choose a
+// size. Entries cost ~60 bytes; the honest population needs one entry
+// per distinct configured identity, so the default covers a 100k-node
+// region with room for rejected forgeries, at a few MB per table.
+const DefaultEntries = 1 << 17
+
+// Key is the content digest identifying one binding.
+type Key [sha256.Size]byte
+
+// KeyOf digests a binding. The address and modifier are fixed-width
+// and the public key is length-prefixed, so adjacent fields can never
+// alias; the leading tag keeps these keys domain-separated from any
+// other digest over the same fields.
+func KeyOf(addr ipv6.Addr, pk []byte, rn uint64) Key {
+	h := sha256.New()
+	var b [8]byte
+	b[0] = 0x01 // domain tag
+	h.Write(b[:1])
+	h.Write(addr[:])
+	binary.BigEndian.PutUint32(b[:4], uint32(len(pk)))
+	h.Write(b[:4])
+	h.Write(pk)
+	binary.BigEndian.PutUint64(b[:], rn)
+	h.Write(b[:])
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Stats counts table traffic. Hits are primitive CGA computations
+// avoided because another node (or an earlier check) already computed
+// the binding; Misses are primitives actually computed and stored;
+// Dropped are verdicts computed but not stored because the table was
+// full.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Dropped uint64
+}
+
+// Add accumulates other into s (for aggregating per-region tables).
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Dropped += other.Dropped
+}
+
+// Table is the shared binding table. All methods are nil-receiver
+// safe: a nil *Table computes every check directly and records
+// nothing, which is how "table off" runs share the same call sites.
+type Table struct {
+	cap      int
+	m        map[Key]bool
+	stats    Stats
+	paranoid bool
+}
+
+// New creates a table bounded to capacity entries (DefaultEntries when
+// capacity <= 0).
+func New(capacity int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultEntries
+	}
+	return &Table{cap: capacity, m: make(map[Key]bool)}
+}
+
+// SetParanoid toggles hit re-verification: every table hit recomputes
+// the primitive and panics on disagreement. This is the "poisoned"
+// arm of the differential suite — it proves no hit ever serves a
+// verdict the primitive would not — and a debugging aid; it is never
+// on in production runs.
+func (t *Table) SetParanoid(on bool) {
+	if t == nil {
+		return
+	}
+	t.paranoid = on
+}
+
+// Len reports the number of stored bindings.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.m)
+}
+
+// Stats returns a copy of the traffic counters (zero for a nil table).
+func (t *Table) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return t.stats
+}
+
+// Reset drops every stored binding and zeroes the counters, keeping
+// the capacity. The sharded engine resets all region tables together
+// between runs; mid-run resets are safe (verdicts are stateless) but
+// pointless.
+func (t *Table) Reset() {
+	if t == nil {
+		return
+	}
+	t.m = make(map[Key]bool)
+	t.stats = Stats{}
+}
+
+// Verify reports whether addr's interface ID equals H(pk, rn), serving
+// the verdict from the table when any node already computed this exact
+// binding and computing (and storing) it otherwise. This is the single
+// primitive compute site beneath the per-node memos.
+func (t *Table) Verify(addr ipv6.Addr, pk []byte, rn uint64) bool {
+	if t == nil {
+		//sbr6:allow directverify the table IS the memo's compute site; a nil table means no memo at all
+		return cga.Verify(addr, pk, rn)
+	}
+	k := KeyOf(addr, pk, rn)
+	if v, ok := t.m[k]; ok {
+		t.stats.Hits++
+		if t.paranoid {
+			//sbr6:allow directverify paranoid differential arm recomputes every hit to prove the verdict
+			if truth := cga.Verify(addr, pk, rn); truth != v {
+				panic(fmt.Sprintf("bindtable: poisoned verdict for %v: table says %v, primitive says %v", addr, v, truth))
+			}
+		}
+		return v
+	}
+	t.stats.Misses++
+	//sbr6:allow directverify the table IS the memo's compute site beneath every per-node cache
+	v := cga.Verify(addr, pk, rn)
+	if len(t.m) < t.cap {
+		t.m[k] = v
+	} else {
+		t.stats.Dropped++
+	}
+	return v
+}

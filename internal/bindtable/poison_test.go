@@ -1,0 +1,112 @@
+package bindtable_test
+
+// Adversarial poisoning probes at the memo layer: two per-node verify
+// caches sharing one table model two nodes in the same region. A forged
+// binding's negative verdict computed at one node must be served —
+// negative, never positive — to the other, and an honest binding's
+// positive verdict must survive any amount of forgery traffic around it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbr6/internal/bindtable"
+	"sbr6/internal/identity"
+	"sbr6/internal/ipv6"
+	"sbr6/internal/verifycache"
+)
+
+func honestBinding(t *testing.T, seed int64) (ipv6.Addr, []byte, uint64) {
+	t.Helper()
+	id, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(seed)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id.Addr, id.Pub.Bytes(), id.Rn
+}
+
+func sharedPair(tbl *bindtable.Table) (*verifycache.Cache, *verifycache.Cache) {
+	a, b := verifycache.New(0), verifycache.New(0)
+	a.SetShared(tbl)
+	b.SetShared(tbl)
+	return a, b
+}
+
+// The forger reaches node A first: A computes and rejects, and node B's
+// first sight of the same forgery is served from the table — still
+// rejected, without recomputing.
+func TestForgedNegativeServedAcrossNodes(t *testing.T) {
+	tbl := bindtable.New(0)
+	a, b := sharedPair(tbl)
+	addr, pk, rn := honestBinding(t, 1)
+
+	if a.VerifyCGA(addr, pk, rn+1) {
+		t.Fatal("node A accepted a forged binding")
+	}
+	if b.VerifyCGA(addr, pk, rn+1) {
+		t.Fatal("node B accepted a forged binding another node already rejected")
+	}
+	if got := tbl.Stats(); got != (bindtable.Stats{Hits: 1, Misses: 1}) {
+		t.Fatalf("table stats = %+v, want the forgery computed once and served once", got)
+	}
+	// The honest binding under the same identity is unaffected by the
+	// cached negative next to it.
+	if !a.VerifyCGA(addr, pk, rn) || !b.VerifyCGA(addr, pk, rn) {
+		t.Fatal("honest binding rejected after its forged neighbor was cached")
+	}
+}
+
+// The honest owner reaches node A first; forged variants arriving at
+// node B afterwards must each be rejected — sharing the positive verdict
+// must not widen what it covers.
+func TestSharedPositiveDoesNotShadowForgeries(t *testing.T) {
+	tbl := bindtable.New(0)
+	a, b := sharedPair(tbl)
+	addr, pk, rn := honestBinding(t, 2)
+	_, otherPK, _ := honestBinding(t, 3)
+
+	if !a.VerifyCGA(addr, pk, rn) {
+		t.Fatal("node A rejected the honest binding")
+	}
+	badAddr := addr
+	badAddr[15] ^= 1
+	for name, probe := range map[string]func() bool{
+		"bumped rn":    func() bool { return b.VerifyCGA(addr, pk, rn+1) },
+		"swapped key":  func() bool { return b.VerifyCGA(addr, otherPK, rn) },
+		"moved addr":   func() bool { return b.VerifyCGA(badAddr, pk, rn) },
+		"stripped key": func() bool { return b.VerifyCGA(addr, nil, rn) },
+	} {
+		if probe() {
+			t.Errorf("%s: forged variant accepted off the shared positive", name)
+		}
+	}
+	// And B still gets the honest verdict — from the table, not a recompute.
+	base := tbl.Stats()
+	if !b.VerifyCGA(addr, pk, rn) {
+		t.Fatal("node B rejected the honest binding")
+	}
+	if got := tbl.Stats(); got.Hits != base.Hits+1 || got.Misses != base.Misses {
+		t.Fatalf("honest verdict was not served from the table: %+v -> %+v", base, got)
+	}
+}
+
+// Node-local repeats stay node-local: once a node's own memo holds the
+// binding, the table is not consulted again, so the shared layer only
+// ever sees each node's first encounter.
+func TestLocalRepeatsDoNotTouchTable(t *testing.T) {
+	tbl := bindtable.New(0)
+	a, _ := sharedPair(tbl)
+	addr, pk, rn := honestBinding(t, 4)
+	if !a.VerifyCGA(addr, pk, rn) {
+		t.Fatal("honest binding rejected")
+	}
+	base := tbl.Stats()
+	for i := 0; i < 3; i++ {
+		if !a.VerifyCGA(addr, pk, rn) {
+			t.Fatal("honest binding rejected on repeat")
+		}
+	}
+	if got := tbl.Stats(); got != base {
+		t.Fatalf("local repeats reached the table: %+v -> %+v", base, got)
+	}
+}

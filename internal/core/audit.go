@@ -50,12 +50,16 @@ func auditAdvKey(m *wire.AuditAdv) uint32 {
 	return m.Seq ^ uint32(m.Ch) ^ uint32(m.Ch>>32)
 }
 
-// verifier returns the memoizing verifier when the cache is enabled, nil
-// for the documented direct-computation fallback (a typed-nil interface
-// would bypass it).
+// verifier returns the node's memoizing verifier: the cache when
+// enabled (it consults the shared binding table beneath), the table
+// adapter when only the table is on, and nil for the documented
+// direct-computation fallback (a typed-nil interface would bypass it).
 func (n *Node) verifier() ndp.Verifier {
 	if n.vcache != nil {
 		return n.vcache
+	}
+	if n.bindings != nil {
+		return tableVerifier{n.bindings}
 	}
 	return nil
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbr6/internal/bindtable"
+	"sbr6/internal/geom"
+	"sbr6/internal/identity"
+	"sbr6/internal/radio"
+	"sbr6/internal/sim"
+	"sbr6/internal/wire"
+)
+
+// Cross-node probes of the shared binding table at the protocol layer:
+// two real nodes wired to one table (the serial and same-region shapes)
+// must each reach exactly the verdicts a lone node reaches, whatever
+// order honest and forged bindings arrive in and whichever node sees
+// them first. These extend the single-node memo probes in
+// verifycache_test.go across the node boundary the table introduces.
+
+// newBoundPair builds two standalone configured nodes sharing one
+// binding table. cached selects whether the nodes also run their
+// per-node verify caches (both table layerings ship).
+func newBoundPair(t *testing.T, cached bool) (*Node, *Node, *bindtable.Table, []*identity.Identity) {
+	t.Helper()
+	s := sim.New(1)
+	medium := radio.New(s, radio.DefaultConfig())
+	dnsIdent, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(1)), "dns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if !cached {
+		cfg.VerifyCache = -1
+	}
+	tbl := bindtable.New(0)
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		ident, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(2+int64(i))), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := New(s, medium, radio.NodeID(i), ident, dnsIdent.Pub, cfg, rand.New(rand.NewSource(4+int64(i))), nil)
+		medium.AddNode(radio.NodeID(i), func(sim.Time) geom.Point { return geom.Point{} }, n)
+		n.StartConfigured()
+		n.SetBindings(tbl)
+		nodes[i] = n
+	}
+	var ids []*identity.Identity
+	for i := 0; i < 4; i++ {
+		id, err := identity.New(identity.SuiteEd25519, rand.New(rand.NewSource(10+int64(i))), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return nodes[0], nodes[1], tbl, ids
+}
+
+// The forger reaches node A first: its chain's forged binding is
+// rejected there, and node B — served the shared negative — must reject
+// it too, across both table layerings (beneath the per-node memo, and as
+// the bare verifier when the memo is off).
+func TestBindTableForgedNegativeSharedAcrossNodes(t *testing.T) {
+	for _, cached := range []bool{true, false} {
+		name := "memo+table"
+		if !cached {
+			name = "table-only"
+		}
+		t.Run(name, func(t *testing.T) {
+			a, b, tbl, ids := newBoundPair(t, cached)
+			forged := honestRREQ(ids[0], []*identity.Identity{ids[1]}, 3)
+			forged.Srn++ // break the source's CGA binding
+			if a.verifySRR(forged) == nil {
+				t.Fatal("node A accepted a chain with a forged binding")
+			}
+			if b.verifySRR(forged) == nil {
+				t.Fatal("node B accepted a forged binding another node already rejected")
+			}
+			if tbl.Stats().Hits == 0 {
+				t.Fatal("node B's rejection did not come from the shared table")
+			}
+			// The honest chain under the same identity still verifies at both.
+			honest := honestRREQ(ids[0], []*identity.Identity{ids[1]}, 3)
+			if err := a.verifySRR(honest); err != nil {
+				t.Fatalf("node A rejected the honest chain: %v", err)
+			}
+			if err := b.verifySRR(honest); err != nil {
+				t.Fatalf("node B rejected the honest chain: %v", err)
+			}
+		})
+	}
+}
+
+// The honest owner reaches node A first; tampered variants arriving at
+// node B must each be rejected — the shared positive covers exactly the
+// digested bytes, nothing wider.
+func TestBindTableHonestThenTamperedAcrossNodes(t *testing.T) {
+	a, b, _, ids := newBoundPair(t, true)
+	if err := a.verifySRR(honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 7)); err != nil {
+		t.Fatalf("honest chain rejected: %v", err)
+	}
+	tampers := map[string]func(m *wire.RREQ){
+		"bump source rn":   func(m *wire.RREQ) { m.Srn++ },
+		"swap source key":  func(m *wire.RREQ) { m.SPK = ids[3].Pub.Bytes() },
+		"swap hop address": func(m *wire.RREQ) { m.SRR[0].IP = ids[3].Addr },
+		"bump hop rn":      func(m *wire.RREQ) { m.SRR[1].Rn++ },
+	}
+	for name, tamper := range tampers {
+		m := honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 7)
+		tamper(m)
+		if b.verifySRR(m) == nil {
+			t.Errorf("%s: forged chain accepted at node B off node A's cached bindings", name)
+		}
+	}
+	// And B accepts the honest original after all those negatives.
+	if err := b.verifySRR(honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 7)); err != nil {
+		t.Fatalf("honest chain rejected at node B after forgeries: %v", err)
+	}
+}
+
+// The table moves primitives, never logical accounting: node B's first
+// walk of a chain node A already verified must count exactly the
+// crypto.verify requests node A's did, while the table absorbs B's CGA
+// primitives as hits.
+func TestBindTablePreservesAccountingAcrossNodes(t *testing.T) {
+	a, b, tbl, ids := newBoundPair(t, true)
+	m := honestRREQ(ids[0], []*identity.Identity{ids[1], ids[2]}, 11)
+
+	beforeA := a.Metrics().Get("crypto.verify")
+	if err := a.verifySRR(m); err != nil {
+		t.Fatal(err)
+	}
+	walkA := a.Metrics().Get("crypto.verify") - beforeA
+
+	baseStats := tbl.Stats()
+	beforeB := b.Metrics().Get("crypto.verify")
+	if err := b.verifySRR(m); err != nil {
+		t.Fatal(err)
+	}
+	walkB := b.Metrics().Get("crypto.verify") - beforeB
+
+	if walkA != walkB {
+		t.Fatalf("logical accounting diverged across nodes: A counted %v, B counted %v", walkA, walkB)
+	}
+	if walkA != 3 { // source + two hops
+		t.Fatalf("walk counted %v verifications, want 3", walkA)
+	}
+	stats := tbl.Stats()
+	if gained := stats.Hits - baseStats.Hits; gained != 3 {
+		t.Fatalf("table absorbed %d of node B's 3 CGA primitives, want all 3", gained)
+	}
+	if stats.Misses != baseStats.Misses {
+		t.Fatalf("node B recomputed bindings node A already stored: %+v -> %+v", baseStats, stats)
+	}
+}

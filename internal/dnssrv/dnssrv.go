@@ -15,7 +15,6 @@ import (
 	"math/rand"
 	"time"
 
-	"sbr6/internal/cga"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
 	"sbr6/internal/ndp"
@@ -55,6 +54,14 @@ type pendingReg struct {
 
 // Server is the DNS server state machine.
 type Server struct {
+	// Verifier, when set by the owning node, routes the server's CGA
+	// and signature checks through that node's memoized verification
+	// path (verify cache and shared binding table) so their cost lands
+	// in the same Stats as every other check. nil computes directly —
+	// historically these checks bypassed the memo entirely, which made
+	// them invisible to cache accounting and to the cross-node dedup.
+	Verifier ndp.Verifier
+
 	clock   ndp.Clock
 	rng     *rand.Rand
 	ident   *identity.Identity // the DNS key pair; Pub is the trust anchor
@@ -156,6 +163,7 @@ func (s *Server) HandleAREQ(m *wire.AREQ) *wire.DREP {
 }
 
 func (s *Server) reservedBy(name string) (*pendingReg, bool) {
+	//sbr6:commutative at most one pending registration carries a given name (HandleAREQ DREPs later claimants), so the scan has a unique match whatever the order
 	for _, p := range s.pending {
 		if p.name == name {
 			return p, true
@@ -185,7 +193,7 @@ func (s *Server) HandleWarnAREP(m *wire.AREP) bool {
 	if !ok {
 		return false
 	}
-	if err := ndp.ValidateAREP(m, s.cfg.Suite, reg.ch); err != nil {
+	if err := ndp.ValidateAREPVia(s.Verifier, m, s.cfg.Suite, reg.ch); err != nil {
 		s.metrics.Add1("dns.warn_rejected")
 		return false
 	}
@@ -268,7 +276,9 @@ func (s *Server) HandleUpdateCounted(m *wire.Update) (*wire.UpdateResult, int) {
 }
 
 // verifyUpdate reports the verdict plus the number of CGA checks and
-// signature verifications it actually ran before deciding.
+// signature verifications it actually ran before deciding. The count
+// tracks logical checks — the walk's short-circuit structure — so it is
+// identical whether the Verifier memoizes or computes directly.
 func (s *Server) verifyUpdate(m *wire.Update) (bool, int) {
 	rec, ok := s.names[m.Name]
 	if !ok || rec.IP != m.OldIP {
@@ -282,13 +292,17 @@ func (s *Server) verifyUpdate(m *wire.Update) (bool, int) {
 	if err != nil {
 		return false, 0
 	}
-	if !cga.Verify(m.OldIP, m.PK, m.Rn) {
+	v := s.Verifier
+	if v == nil {
+		v = ndp.DirectVerifier{}
+	}
+	if !v.VerifyCGA(m.OldIP, m.PK, m.Rn) {
 		return false, 1
 	}
-	if !cga.Verify(m.NewIP, m.PK, m.NewRn) {
+	if !v.VerifyCGA(m.NewIP, m.PK, m.NewRn) {
 		return false, 2
 	}
-	return pk.Verify(wire.SigUpdate(m.OldIP, m.NewIP, ch), m.Sig), 3
+	return v.VerifySig(pk, wire.SigUpdate(m.OldIP, m.NewIP, ch), m.Sig), 3
 }
 
 // ValidateUpdateResult is the client-side check of the verdict.

@@ -12,9 +12,19 @@
 // every want-pattern must be matched by at least one diagnostic — so a
 // disabled or vacuous analyzer fails the suite by leaving wants
 // unmatched, which is the non-vacuity proof the fixtures exist for.
+//
+// Fixtures importing the stdlib type-check straight from GOROOT. An
+// analyzer that matches symbols of an sbr6-internal package (e.g.
+// directverify on sbr6/internal/cga) cannot import the real package
+// from a fixture — the source importer resolves only GOROOT — so the
+// fixture imports a *stub*: a minimal same-path package under
+// testdata/stub/<import-path>/ that declares just the matched symbols.
+// The analyzers match import path + name, never behavior, so a stub
+// exercises the production matcher exactly.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -39,10 +49,16 @@ func Run(t *testing.T, a *analysis.Analyzer, fixture string) []analysis.Diagnost
 	fset := token.NewFileSet()
 	files, sources := parseFixture(t, fset, dir)
 
-	// Fixtures import at most the stdlib; the source importer
-	// type-checks those straight from GOROOT, no export data needed.
+	// Fixtures import the stdlib (type-checked straight from GOROOT, no
+	// export data needed) plus any stub packages under testdata/stub.
+	stubs := &stubImporter{
+		base: importer.ForCompiler(fset, "source", nil),
+		dir:  filepath.Join("testdata", "stub"),
+		fset: fset,
+		pkgs: make(map[string]*types.Package),
+	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
+		Importer: stubs,
 		Error:    func(error) {}, // collected via the returned error
 	}
 	info := &types.Info{
@@ -97,6 +113,51 @@ func parseFixture(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, m
 		t.Fatalf("fixture dir %s holds no .go files", dir)
 	}
 	return files, sources
+}
+
+// stubImporter resolves stdlib imports through the source importer and
+// everything else from testdata/stub/<import-path>/, so fixtures can
+// call into same-path stand-ins for sbr6-internal packages.
+type stubImporter struct {
+	base types.Importer
+	dir  string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(si.dir, filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		return si.base.Import(path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(si.fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("stub package %s holds no .go files", dir)
+	}
+	conf := types.Config{Importer: si} // stubs may import the stdlib or other stubs
+	pkg, err := conf.Check(path, si.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking stub %s: %w", dir, err)
+	}
+	si.pkgs[path] = pkg
+	return pkg, nil
 }
 
 var wantRe = regexp.MustCompile("// want `([^`]*)`")

@@ -55,6 +55,16 @@ func TestGlobalState(t *testing.T) {
 	}
 }
 
+// TestDirectVerify drives the directverify fixture (against the stub
+// cga package): a bare primitive call is flagged, an annotated compute
+// site and a method merely named Verify are not.
+func TestDirectVerify(t *testing.T) {
+	diags := analysistest.Run(t, DirectVerify, "directverify")
+	if len(diags) != 1 {
+		t.Fatalf("directverify must flag exactly the one bare primitive call, got %d", len(diags))
+	}
+}
+
 // TestAllowEscapeHatch proves the //sbr6:allow contract on the walltime
 // analyzer: a reasoned allow suppresses, a reason-less or wrong-analyzer
 // allow does not.
@@ -81,6 +91,8 @@ func TestScoped(t *testing.T) {
 		{"sbr6", false},
 		{"sbr6/internal/wire", true},
 		{"sbr6/internal/shard", true},
+		{"sbr6/internal/bindtable", true},
+		{"sbr6/internal/dnssrv", true},
 	} {
 		if got := Scoped(tc.path); got != tc.want {
 			t.Errorf("Scoped(%q) = %v, want %v", tc.path, got, tc.want)
@@ -99,6 +111,8 @@ func TestScopedDir(t *testing.T) {
 		{"./internal/scenario", true},
 		{"/root/repo/internal/wire", true},
 		{"internal/shard", true},
+		{"internal/bindtable", true},
+		{"internal/dnssrv", true},
 		{"internal/identity", false},
 		{"internal/lint/analyzers", false},
 		{"internal/lint/analysis", false},

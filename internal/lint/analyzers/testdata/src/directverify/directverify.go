@@ -1,0 +1,29 @@
+// Package directverify exercises the directverify analyzer: a bare
+// primitive call is flagged, an annotated compute site is allowed, and
+// methods merely named Verify on other types are ignored.
+package directverify
+
+import "sbr6/internal/cga"
+
+type memo struct{}
+
+func (memo) Verify(addr cga.Addr, pk []byte, rn uint64) bool {
+	_ = addr
+	_ = pk
+	_ = rn
+	return false
+}
+
+func bare(addr cga.Addr, pk []byte, rn uint64) bool {
+	return cga.Verify(addr, pk, rn) // want `cga\.Verify bypasses the verification memo`
+}
+
+func allowedComputeSite(addr cga.Addr, pk []byte, rn uint64) bool {
+	//sbr6:allow directverify this fixture models the memo's own compute site
+	return cga.Verify(addr, pk, rn)
+}
+
+func viaMemo(addr cga.Addr, pk []byte, rn uint64) bool {
+	var m memo
+	return m.Verify(addr, pk, rn)
+}

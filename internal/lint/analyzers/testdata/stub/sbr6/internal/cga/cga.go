@@ -1,0 +1,15 @@
+// Package cga is a type-check stub for the directverify fixture: the
+// analyzer matches the import path and function name of the primitive,
+// never its behavior, so declaring just the matched symbol is enough.
+package cga
+
+// Addr stands in for ipv6.Addr so the stub needs no further imports.
+type Addr [16]byte
+
+// Verify is the matched primitive; the body is irrelevant.
+func Verify(addr Addr, pk []byte, rn uint64) bool {
+	_ = addr
+	_ = pk
+	_ = rn
+	return false
+}

@@ -1,0 +1,49 @@
+package scalebench
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeNow is a deterministic stand-in clock; the assertions here are
+// about exact counters, never wall time.
+func fakeNow() func() time.Time {
+	t0 := time.Unix(0, 0)
+	return func() time.Time {
+		t0 = t0.Add(time.Millisecond)
+		return t0
+	}
+}
+
+// The bindtable workload's trend cell gates on counters, so they must
+// be exact: the logical request count is identical with and without the
+// table (the differential bar), the pernode primitive count is exactly
+// BindVerifiers times the shared one (every unique binding misses once
+// per node versus once per group), and every avoided primitive shows up
+// as a table hit.
+func TestRunBindScaleCountersExact(t *testing.T) {
+	const n, seed, rounds = 250, 7, 2
+	per := RunBindScale(n, false, seed, rounds, fakeNow())
+	sh := RunBindScale(n, true, seed, rounds, fakeNow())
+
+	if per.Index != "pernode" || sh.Index != "shared" {
+		t.Fatalf("cells misnamed: %q / %q", per.Index, sh.Index)
+	}
+	if per.VerifyRequests != sh.VerifyRequests || per.VerifyRequests == 0 {
+		t.Fatalf("logical requests must be identical table on/off: pernode %d, shared %d",
+			per.VerifyRequests, sh.VerifyRequests)
+	}
+	if sh.VerifyOps == 0 {
+		t.Fatal("shared cell computed no primitives — the workload is vacuous")
+	}
+	if per.VerifyOps != BindVerifiers*sh.VerifyOps {
+		t.Errorf("pernode ops %d != %d x shared ops %d: the dedup ratio is not the group size",
+			per.VerifyOps, BindVerifiers, sh.VerifyOps)
+	}
+	if want := (BindVerifiers - 1) * sh.VerifyOps; sh.CacheHits != want {
+		t.Errorf("table hits %d != %d: an avoided primitive did not land as a hit", sh.CacheHits, want)
+	}
+	if per.CacheHits != 0 {
+		t.Errorf("pernode cell reported %d table hits with no table", per.CacheHits)
+	}
+}

@@ -32,7 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 
-	"sbr6/internal/cga"
+	"sbr6/internal/bindtable"
 	"sbr6/internal/identity"
 	"sbr6/internal/ipv6"
 )
@@ -102,6 +102,14 @@ type Cache struct {
 	head  *entry // most recently used
 	tail  *entry // least recently used
 	stats Stats
+
+	// shared, when non-nil, is the cross-node binding table consulted
+	// beneath the node-local memo: a CGA miss here may still be a hit
+	// there, because another node on the same event loop already
+	// computed the identical binding. Signature and chain checks stay
+	// purely node-local — their content (challenges, sequence numbers)
+	// rarely repeats across nodes, so sharing them would buy nothing.
+	shared *bindtable.Table
 }
 
 // New creates a cache bounded to capacity entries (DefaultEntries when
@@ -127,6 +135,17 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return c.stats
+}
+
+// SetShared attaches the simulation- (or region-) wide binding table
+// this cache consults on CGA misses. CGAMisses keeps counting local
+// misses either way; how many of those became primitive computations
+// versus cross-node hits is the table's own Stats' business.
+func (c *Cache) SetShared(t *bindtable.Table) {
+	if c == nil {
+		return
+	}
+	c.shared = t
 }
 
 // --- LRU plumbing ---
@@ -196,10 +215,13 @@ func (c *Cache) unlink(e *entry) {
 // --- memoized checks ---
 
 // VerifyCGA reports whether addr's interface ID equals H(pk, rn),
-// memoizing the result under a digest of (addr, pk, rn).
+// memoizing the result under a digest of (addr, pk, rn). Local misses
+// are served through the shared binding table when one is attached
+// (another node may have computed the identical binding already); a
+// nil table computes directly.
 func (c *Cache) VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool {
 	if c == nil {
-		return cga.Verify(addr, pk, rn)
+		return (*bindtable.Table)(nil).Verify(addr, pk, rn)
 	}
 	d := NewDigest(tagCGA)
 	d.Bytes(addr[:])
@@ -211,7 +233,7 @@ func (c *Cache) VerifyCGA(addr ipv6.Addr, pk []byte, rn uint64) bool {
 		return e.ok
 	}
 	c.stats.CGAMisses++
-	ok := cga.Verify(addr, pk, rn)
+	ok := c.shared.Verify(addr, pk, rn)
 	c.insert(&entry{key: k, ok: ok})
 	return ok
 }

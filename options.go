@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sbr6/internal/bindtable"
 	"sbr6/internal/boot"
 	"sbr6/internal/core"
 	"sbr6/internal/geom"
@@ -555,6 +556,31 @@ func WithVerifyCache(entries int) Option {
 			s.cfg.Protocol.VerifyCache = entries
 		} else {
 			s.cfg.Protocol.VerifyCache = -1
+		}
+		return nil
+	}
+}
+
+// DefaultBindTableEntries is the shared CGA-binding table bound applied
+// when WithBindingTable is not used.
+const DefaultBindTableEntries = bindtable.DefaultEntries
+
+// WithBindingTable bounds the shared read-mostly CGA-binding table that
+// dedups verification of the same (addr, pk, rn) binding across nodes —
+// one table per simulation, or one per region under WithShards so it
+// stays local to each region's event loop. It sits beneath the per-node
+// verify cache: a node's first check of a binding is served from the
+// table whenever any node on the same event loop already computed it.
+// The table is on by default (DefaultBindTableEntries); entries <= 0
+// disables cross-node sharing — the configuration the differential
+// suite compares against. Per-seed results are byte-for-byte identical
+// either way; only the number of primitive CGA computations changes.
+func WithBindingTable(entries int) Option {
+	return func(s *Scenario) error {
+		if entries > 0 {
+			s.cfg.Protocol.BindTable = entries
+		} else {
+			s.cfg.Protocol.BindTable = -1
 		}
 		return nil
 	}
