@@ -1,6 +1,7 @@
 package sbr6
 
 import (
+	"fmt"
 	"time"
 
 	"sbr6/internal/attack"
@@ -17,10 +18,16 @@ import (
 // back from a built Network with AdversaryState.
 type Adversary struct {
 	node   int
-	victim int // Impersonate only
+	victim int // Impersonate and AddressClone only
 	kind   string
-	build  func() core.Behavior
-	bind   func(b core.Behavior, sc *scenario.Scenario)
+	// The scalar attack parameters live beside kind (instead of only
+	// inside the build closure) so the snapshot codec can serialize an
+	// adversary and rebuild it through the kind registry.
+	p     float64       // GrayHole drop probability
+	delay time.Duration // Replay re-broadcast delay
+	every time.Duration // IdentityChurner rekey interval
+	build func() core.Behavior
+	bind  func(b core.Behavior, sc *scenario.Scenario)
 }
 
 // Node returns the node index the adversary occupies.
@@ -47,7 +54,7 @@ func ForgingBlackHole(node int) Adversary {
 
 // GrayHole drops each relayed data packet independently with probability p.
 func GrayHole(node int, p float64) Adversary {
-	return Adversary{node: node, kind: "gray hole",
+	return Adversary{node: node, kind: "gray hole", p: p,
 		build: func() core.Behavior { return &attack.GrayHole{P: p} }}
 }
 
@@ -95,7 +102,7 @@ func AddressClone(node, victim int) Adversary {
 // Replay captures control frames and re-broadcasts them after delay,
 // exercising the replay analysis of Section 4.
 func Replay(node int, delay time.Duration) Adversary {
-	return Adversary{node: node, kind: "replayer",
+	return Adversary{node: node, kind: "replayer", delay: delay,
 		build: func() core.Behavior { return &attack.Replayer{Delay: delay} }}
 }
 
@@ -103,12 +110,54 @@ func Replay(node int, delay time.Duration) Adversary {
 // every interval, shedding accumulated punishment; the low-initial-credit
 // rule is the countermeasure.
 func IdentityChurner(node int, every time.Duration) Adversary {
-	return Adversary{node: node, kind: "identity churner",
+	return Adversary{node: node, kind: "identity churner", every: every,
 		build: func() core.Behavior {
 			c := &attack.IdentityChurner{Every: every}
 			c.ForgeCacheReplies = true
 			return c
 		}}
+}
+
+// advDescriptor is the serializable form of an Adversary: the constructor
+// kind plus the scalar parameters. The snapshot codec stores descriptors
+// and Resume rebuilds the live attack state through advKinds, so attacker
+// closures never need to cross a process boundary.
+type advDescriptor struct {
+	Kind   string        `json:"kind"`
+	Node   int           `json:"node"`
+	Victim int           `json:"victim,omitempty"`
+	P      float64       `json:"p,omitempty"`
+	Delay  time.Duration `json:"delay,omitempty"`
+	Every  time.Duration `json:"every,omitempty"`
+}
+
+// advKinds maps a descriptor kind back to its constructor. Every public
+// Adversary constructor registers here; a kind missing from the registry
+// is a snapshot from a newer build and is rejected rather than guessed at.
+var advKinds = map[string]func(d advDescriptor) Adversary{
+	"black hole":         func(d advDescriptor) Adversary { return BlackHole(d.Node) },
+	"forging black hole": func(d advDescriptor) Adversary { return ForgingBlackHole(d.Node) },
+	"gray hole":          func(d advDescriptor) Adversary { return GrayHole(d.Node, d.P) },
+	"RERR spammer":       func(d advDescriptor) Adversary { return RERRSpammer(d.Node) },
+	"fake DNS":           func(d advDescriptor) Adversary { return FakeDNS(d.Node) },
+	"impersonator":       func(d advDescriptor) Adversary { return Impersonate(d.Node, d.Victim) },
+	"address clone":      func(d advDescriptor) Adversary { return AddressClone(d.Node, d.Victim) },
+	"replayer":           func(d advDescriptor) Adversary { return Replay(d.Node, d.Delay) },
+	"identity churner":   func(d advDescriptor) Adversary { return IdentityChurner(d.Node, d.Every) },
+}
+
+// descriptor returns the adversary's serializable form.
+func (a Adversary) descriptor() advDescriptor {
+	return advDescriptor{Kind: a.kind, Node: a.node, Victim: a.victim, P: a.p, Delay: a.delay, Every: a.every}
+}
+
+// adversaryFromDescriptor rebuilds an Adversary from its serialized form.
+func adversaryFromDescriptor(d advDescriptor) (Adversary, error) {
+	mk, ok := advKinds[d.Kind]
+	if !ok {
+		return Adversary{}, fmt.Errorf("unknown adversary kind %q", d.Kind)
+	}
+	return mk(d), nil
 }
 
 // tapBehavior is the pass-through behavior WithTap installs on honest

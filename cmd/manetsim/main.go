@@ -18,6 +18,9 @@
 //	manetsim -n 100 -verifycache 0                  # disable crypto memoization
 //	manetsim -n 100 -bindtable 0                    # disable cross-node CGA dedup
 //	manetsim -n 2000 -shards 4 -duration 10s        # region-sharded core
+//	manetsim -n 16 -windows 1s -serve unix:/tmp/sbr6.sock   # daemon mode
+//	manetsim -connect unix:/tmp/sbr6.sock -call info        # client mode
+//	manetsim -connect unix:/tmp/sbr6.sock -call advance -params '{"windows":4}'
 package main
 
 import (
@@ -65,8 +68,28 @@ func main() {
 		spammers   = flag.Int("spammers", 0, "RERR spammers")
 		verbose    = flag.Bool("v", false, "print every node counter")
 		traceN     = flag.Int("trace", 0, "print the first N packet receptions")
+
+		serveAddr = flag.String("serve", "",
+			`host the simulation as a long-lived session behind the JSON-RPC control plane on this address ("host:port" or "unix:/path")`)
+		resumeFile = flag.String("resume", "",
+			"with -serve: resume the session from this snapshot file (scenario flags are ignored)")
+		connectAddr = flag.String("connect", "", "client mode: address of a -serve daemon")
+		callMethod  = flag.String("call", "", "client mode: JSON-RPC method to invoke against -connect")
+		callParams  = flag.String("params", "", `client mode: JSON params for -call (e.g. '{"windows":4}')`)
 	)
 	flag.Parse()
+
+	if *connectAddr != "" {
+		os.Exit(runCall(*connectAddr, *callMethod, *callParams))
+	}
+	if *callMethod != "" || *callParams != "" {
+		fmt.Fprintln(os.Stderr, "manetsim: -call/-params require -connect")
+		os.Exit(2)
+	}
+	if *resumeFile != "" && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "manetsim: -resume requires -serve")
+		os.Exit(2)
+	}
 
 	opts := []sbr6.Option{
 		sbr6.WithSeed(*seed),
@@ -203,6 +226,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *serveAddr != "" {
+		os.Exit(runServe(sc, *serveAddr, *resumeFile))
 	}
 
 	runner := &sbr6.Runner{Workers: *workers}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+
+	"sbr6"
+	"sbr6/internal/daemon"
+)
+
+// listenOn opens the daemon's listening socket. Addresses of the form
+// "unix:/path" select a unix-domain socket (any stale socket file is
+// removed first); everything else is a TCP host:port.
+func listenOn(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		os.Remove(path)
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// dialTo connects a client to a daemon address in the same syntax
+// listenOn accepts.
+func dialTo(addr string) (net.Conn, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Dial("unix", path)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// runServe hosts the scenario as a long-lived session behind the
+// JSON-RPC control plane until a client calls shutdown or the process
+// receives an interrupt. With a snapshot file the session resumes from
+// it instead of booting fresh, and the scenario flags are ignored.
+func runServe(sc *sbr6.Scenario, addr, resumeFile string) int {
+	var (
+		sess *sbr6.Session
+		err  error
+	)
+	if resumeFile != "" {
+		data, rerr := os.ReadFile(resumeFile)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "manetsim: %v\n", rerr)
+			return 1
+		}
+		sess, err = sbr6.Resume(data)
+	} else {
+		sess, err = sbr6.Serve(sc)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 1
+	}
+	defer sess.Close()
+
+	l, err := listenOn(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 1
+	}
+	srv := daemon.New(sess)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; ok {
+			srv.Close()
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "manetsim: serving seed=%d live=%d window=%d on %v\n",
+		sess.Seed(), sess.LiveNodes(), sess.Windows(), l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runCall connects to a daemon, issues one JSON-RPC request and prints
+// the result JSON to stdout. Window notifications arriving on the same
+// connection are skipped; a daemon error becomes a nonzero exit.
+func runCall(addr, method, params string) int {
+	if method == "" {
+		fmt.Fprintln(os.Stderr, "manetsim: -connect requires -call (info, advance, inject, eject, query, stream, snapshot or shutdown)")
+		return 2
+	}
+	req := struct {
+		JSONRPC string          `json:"jsonrpc"`
+		ID      int             `json:"id"`
+		Method  string          `json:"method"`
+		Params  json.RawMessage `json:"params,omitempty"`
+	}{JSONRPC: "2.0", ID: 1, Method: method}
+	if params != "" {
+		if err := json.Unmarshal([]byte(params), &req.Params); err != nil {
+			fmt.Fprintf(os.Stderr, "manetsim: -params is not valid JSON: %v\n", err)
+			return 2
+		}
+	}
+	frame, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 2
+	}
+
+	nc, err := dialTo(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 1
+	}
+	defer nc.Close()
+	if _, err := nc.Write(append(frame, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+		return 1
+	}
+
+	lines := bufio.NewScanner(nc)
+	lines.Buffer(make([]byte, 64*1024), 64<<20)
+	for lines.Scan() {
+		var resp struct {
+			ID     json.RawMessage `json:"id"`
+			Result json.RawMessage `json:"result"`
+			Error  *daemon.Error   `json:"error"`
+		}
+		if err := json.Unmarshal(lines.Bytes(), &resp); err != nil {
+			fmt.Fprintf(os.Stderr, "manetsim: unreadable frame from daemon: %v\n", err)
+			return 1
+		}
+		if len(resp.ID) == 0 || string(resp.ID) == "null" {
+			continue // window notification, not our response
+		}
+		if resp.Error != nil {
+			fmt.Fprintf(os.Stderr, "manetsim: %s: %v\n", method, resp.Error)
+			return 1
+		}
+		fmt.Println(string(resp.Result))
+		return 0
+	}
+	if err := lines.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "manetsim: %v\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "manetsim: daemon closed the connection before responding")
+	}
+	return 1
+}

@@ -38,7 +38,42 @@
 //
 // For experiments that drive the simulation interactively — bootstrap,
 // resolve a name, poke individual nodes, advance virtual time — Build
-// instantiates a Network with per-node handles.
+// instantiates a Network with per-node handles. Network is now a thin
+// compatibility shim over the live Session API below.
+//
+// # Live sessions and daemon mode
+//
+// Serve hosts a scenario as a long-lived Session: the network
+// bootstraps, then advances in explicit window-sized steps under caller
+// control instead of running to completion. Between steps the caller
+// can Inject new nodes (full CGA autoconfiguration, DAD and name
+// registration run live inside the simulation), Eject existing ones,
+// Query cumulative results, or Stream per-window reports. Every
+// mutation lands at a window barrier, which keeps the run as
+// deterministic as a batch run: the same scenario, seed and op sequence
+// yield byte-identical results.
+//
+//	sess, err := sbr6.Serve(sc)
+//	idx, err := sess.Inject("late-joiner.example")
+//	err = sess.Advance(4)
+//	res, err := sess.Query()
+//
+// Snapshot serializes a session at a barrier into one self-verifying
+// JSON value, and Resume rebuilds it by deterministic replay: the
+// stored configuration is rebuilt, the journaled inject/eject ops are
+// re-applied at their original barriers, and the replayed state digest
+// must match the stored one. Running N windows is observably identical
+// to snapshotting at window k, resuming, and running the remaining
+// N−k — the equivalence suite proves byte-identical merged Results
+// across static, mobile and adversarial scenarios, seeds and shard
+// counts.
+//
+// The same Session API is exposed out-of-process by internal/daemon as
+// a JSON-RPC 2.0 control plane over newline-delimited frames on a TCP
+// or unix socket (manetsim -serve / -connect). All session access is
+// serialized through one owner goroutine, so concurrent clients cannot
+// break window-barrier determinism; subscribed clients receive a
+// notification per completed window.
 //
 // # Medium indexing and scale
 //
@@ -227,6 +262,7 @@
 //	internal/{ipv6,cga,identity,wire}    addressing, crypto and wire format
 //	internal/{ndp,dnssrv,dsr,credit}     protocol building blocks
 //	internal/attack      Section 4 adversaries
+//	internal/daemon      JSON-RPC 2.0 control plane for served sessions
 //	internal/scenario    the internal experiment harness the facade compiles to
 //	internal/experiments every table/figure/attack regenerated (T1..E6)
 //	internal/lint        the sbr6lint analyzer framework, analyzers and fixtures

@@ -1,0 +1,84 @@
+package sbr6_test
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sbr6"
+)
+
+func TestHangHunt(t *testing.T) {
+	if os.Getenv("HANG_HUNT") == "" {
+		t.Skip("set HANG_HUNT=1")
+	}
+	sc, _ := sbr6.NewScenario(
+		sbr6.WithNodes(8), sbr6.WithArea(400, 400), sbr6.WithFastTimers(),
+		sbr6.WithWarmup(500*time.Millisecond), sbr6.WithWindows(500*time.Millisecond),
+		sbr6.WithCooldown(500*time.Millisecond),
+		sbr6.WithFlows(sbr6.Flow{From: 1, To: 2, Interval: 100 * time.Millisecond, Size: 32}),
+	)
+	sess, _ := sbr6.Serve(sc)
+	sess.Inject("seed.example")
+	sess.Advance(2)
+	genuine, _ := sess.Snapshot()
+
+	rng := rand.New(rand.NewSource(99))
+	deadline := time.Now().Add(90 * time.Second)
+	var iter int
+	cur := make(chan []byte, 1)
+	go func() {
+		last := -1
+		for {
+			time.Sleep(time.Second)
+			if iter == last { // stuck for 1s+
+				select {
+				case data := <-cur:
+					os.WriteFile("/tmp/hang_input.json", data, 0644)
+				default:
+				}
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				os.WriteFile("/tmp/hang_stack.txt", buf[:n], 0644)
+				os.Exit(3)
+			}
+			last = iter
+		}
+	}()
+	for time.Now().Before(deadline) {
+		iter++
+		data := append([]byte(nil), genuine...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			switch rng.Intn(3) {
+			case 0:
+				data[rng.Intn(len(data))] = byte(rng.Intn(256))
+			case 1: // digit swap keeps JSON valid more often
+				i := rng.Intn(len(data))
+				if data[i] >= '0' && data[i] <= '9' {
+					data[i] = byte('0' + rng.Intn(10))
+				}
+			case 2: // duplicate a digit (length growth)
+				i := rng.Intn(len(data))
+				if data[i] >= '0' && data[i] <= '9' {
+					data = append(data[:i+1], data[i:]...)
+				}
+			}
+		}
+		select {
+		case cur <- data:
+		default:
+			select {
+			case <-cur:
+			default:
+			}
+			cur <- data
+		}
+		if !fuzzBudget(data) {
+			continue
+		}
+		sbr6.Resume(data)
+	}
+	t.Logf("%d iterations, no hang", iter)
+}

@@ -161,6 +161,23 @@ func (t *Table) Reset() {
 	t.stats = Stats{}
 }
 
+// Forget drops the verdict stored for k, reporting whether an entry was
+// present. Churning sessions call it when a node leaves for good: the
+// departed identity's binding will never be flooded again, so holding its
+// verdict only crowds the capacity bound. Forgetting is always safe —
+// verdicts are pure functions of the digested bytes, so the worst case is
+// one recompute if the binding reappears.
+func (t *Table) Forget(k Key) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.m[k]; !ok {
+		return false
+	}
+	delete(t.m, k)
+	return true
+}
+
 // Verify reports whether addr's interface ID equals H(pk, rn), serving
 // the verdict from the table when any node already computed this exact
 // binding and computing (and storing) it otherwise. This is the single

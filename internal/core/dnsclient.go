@@ -19,6 +19,10 @@ import (
 // The answer is only accepted if signed by the DNS key over this query's
 // challenge, so neither a fake DNS nor a replayed answer can satisfy it.
 func (n *Node) Resolve(name string, cb func(addr ipv6.Addr, ok bool)) {
+	if n.dead {
+		cb(ipv6.Addr{}, false)
+		return
+	}
 	if _, busy := n.resolves[name]; busy {
 		cb(ipv6.Addr{}, false)
 		return
@@ -89,6 +93,12 @@ func (n *Node) handleDNSAnswer(pkt *wire.Packet, m *wire.DNSAnswer) {
 // same key, prove ownership of both addresses, and wait for the server's
 // signed verdict. cb receives the outcome.
 func (n *Node) RebindAddress(cb func(ok bool)) {
+	if n.dead {
+		if cb != nil {
+			cb(false)
+		}
+		return
+	}
 	n.startRebind(&rebindState{cb: cb})
 }
 

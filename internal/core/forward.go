@@ -24,6 +24,9 @@ func (n *Node) SendData(dst ipv6.Addr, payload []byte) (flow, seq uint32) {
 // SendFlow is SendData under a caller-chosen flow id, letting traffic
 // generators keep per-flow sequence spaces.
 func (n *Node) SendFlow(dst ipv6.Addr, flow uint32, payload []byte) (uint32, uint32) {
+	if n.dead {
+		return 0, 0
+	}
 	n.dataSeq++
 	seq := n.dataSeq
 	n.met.Add1("data.sent")

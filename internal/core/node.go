@@ -165,6 +165,7 @@ type Node struct {
 
 	autoconf   *ndp.Initiator
 	configured bool
+	dead       bool // Shutdown ran: every entry point and transmit path is inert
 
 	neighbors map[ipv6.Addr]radio.NodeID
 
@@ -418,7 +419,72 @@ func (n *Node) RouteTo(dst ipv6.Addr) ([]ipv6.Addr, bool) {
 
 // Start begins the node's life: secure duplicate address detection, then —
 // once configured — normal operation.
-func (n *Node) Start() { n.autoconf.Start() }
+func (n *Node) Start() {
+	if n.dead {
+		return
+	}
+	n.autoconf.Start()
+}
+
+// Shutdown removes the node from the simulation for good: every pending
+// timer it armed is cancelled (releasing the captured closures), DAD is
+// stopped, and a dead flag makes every entry point — radio delivery,
+// application sends, resolves, audit advertisements — and every transmit
+// path inert, so callbacks still referenced by in-flight events (a
+// unicast ACK outcome, an untracked probe conclusion) fire harmlessly.
+// The caller detaches the node from the medium afterwards
+// (radio.Medium.RemoveNode); under the sharded engine both happen at a
+// barrier while the owning region is quiescent. Shutdown is idempotent
+// and there is no restart: a returning host joins as a fresh identity,
+// exactly like the paper's model of departure.
+func (n *Node) Shutdown() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	n.configured = false
+	n.autoconf.Stop()
+	//sbr6:commutative Timer.Cancel removal order cannot reorder surviving events: the heap pops by the total (at, owner, seq) key
+	for _, d := range n.pending {
+		if d.timer != nil {
+			d.timer.Cancel()
+		}
+	}
+	//sbr6:commutative Timer.Cancel removal order cannot reorder surviving events: the heap pops by the total (at, owner, seq) key
+	for _, sd := range n.outstanding {
+		if sd.timer != nil {
+			sd.timer.Cancel()
+		}
+	}
+	//sbr6:commutative Timer.Cancel removal order cannot reorder surviving events: the heap pops by the total (at, owner, seq) key
+	for _, st := range n.resolves {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+	}
+	if n.rebind != nil {
+		if n.rebind.timer != nil {
+			n.rebind.timer.Cancel()
+		}
+		n.rebind = nil
+	}
+	// Drop per-peer state so the only thing a departed node pins is its
+	// metrics sink (merged into the scenario's graveyard by the caller).
+	// Untracked events that survive (finishProbe) look their state up by
+	// key and no-op on the emptied maps.
+	n.neighbors = make(map[ipv6.Addr]radio.NodeID)
+	n.pending = make(map[ipv6.Addr]*discovery)
+	n.outstanding = make(map[ackKey]*sentData)
+	n.lossStreak = make(map[ipv6.Addr]int)
+	n.probes = make(map[ipv6.Addr]*probeState)
+	n.rerrTimes = make(map[ipv6.Addr][]sim.Time)
+	n.resolves = make(map[string]*resolveState)
+	n.aliases = make(map[ipv6.Addr]ipv6.Addr)
+	n.auditRebind = nil
+}
+
+// Dead reports whether Shutdown has run.
+func (n *Node) Dead() bool { return n.dead }
 
 // StartConfigured skips DAD (scripted experiments that pre-assign
 // identities use this).
@@ -499,6 +565,9 @@ func (n *Node) VerifyRouteRecord(m *wire.RREQ) error { return n.verifySRR(m) }
 
 // Deliver implements radio.Handler.
 func (n *Node) Deliver(from radio.NodeID, payload []byte) {
+	if n.dead {
+		return
+	}
 	pkt, err := wire.Decode(payload)
 	if err != nil {
 		n.met.Add1("rx.malformed")
@@ -639,6 +708,9 @@ func (n *Node) encodeFrame(pkt *wire.Packet) []byte {
 
 // broadcastPacket encodes and broadcasts a packet frame.
 func (n *Node) broadcastPacket(pkt *wire.Packet) {
+	if n.dead {
+		return
+	}
 	n.medium.BroadcastFrame(n.link, n.encodeFrame(pkt))
 }
 
@@ -649,6 +721,9 @@ func (n *Node) broadcastPacket(pkt *wire.Packet) {
 // total == control + data + raw. The frame stays caller-owned (attackers
 // replay the same capture repeatedly), so it is never pooled.
 func (n *Node) RawBroadcast(raw []byte) {
+	if n.dead {
+		return
+	}
 	n.met.Inc("tx.bytes.total", float64(len(raw)))
 	n.met.Inc("tx.bytes.raw", float64(len(raw)))
 	n.met.Add1("tx.raw")
@@ -686,6 +761,11 @@ func lastHopBroadcast(msg wire.Message) bool {
 // delivery (out of range, down, lost) or when the neighbour cannot be
 // resolved.
 func (n *Node) sendSourceRouted(pkt *wire.Packet, onFail func(next ipv6.Addr)) {
+	if n.dead {
+		// An in-flight ACK-outcome callback may still route here after
+		// Shutdown; the node no longer has a radio port to transmit from.
+		return
+	}
 	next, ok := pkt.NextHop()
 	if !ok {
 		n.met.Add1("tx.route_exhausted")

@@ -1,0 +1,37 @@
+package daemon
+
+import (
+	"testing"
+)
+
+// FuzzRPCRequest drives the pure decode path — DecodeRequest plus
+// ParseParams for whatever method the frame names — with arbitrary
+// bytes. The properties under test: no panic, and a frame is either
+// rejected with a structured *Error or fully validated.
+func FuzzRPCRequest(f *testing.F) {
+	f.Add([]byte(`{"jsonrpc":"2.0","id":1,"method":"info"}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","id":2,"method":"advance","params":{"windows":3}}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","id":3,"method":"inject","params":{"name":"a.example"}}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","id":4,"method":"eject","params":{"index":5}}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","id":5,"method":"stream","params":{"on":true}}`))
+	f.Add([]byte(`{"jsonrpc":"2.0","method":"snapshot"}`))
+	f.Add([]byte(`{"jsonrpc":"1.0","method":"info"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, rpcErr := DecodeRequest(line)
+		if rpcErr != nil {
+			if rpcErr.Message == "" {
+				t.Fatalf("rejection without a message for %q", line)
+			}
+			return
+		}
+		if req.JSONRPC != "2.0" || req.Method == "" {
+			t.Fatalf("accepted envelope is invalid: %+v", req)
+		}
+		if _, rpcErr := ParseParams(req.Method, req.Params); rpcErr != nil && rpcErr.Message == "" {
+			t.Fatalf("param rejection without a message for %q", line)
+		}
+	})
+}

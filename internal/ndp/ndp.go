@@ -250,6 +250,19 @@ func (i *Initiator) Start() {
 	i.SendAREQ(&wire.AREQ{SIP: i.ident.Addr, Seq: i.seq, DN: i.ident.Name, Ch: i.ch})
 }
 
+// Stop abandons any DAD in progress and disarms the objection-window
+// timer, returning the state machine to StateIdle. A node leaving a
+// running simulation calls it so no success/retry callback fires after
+// the node's state has been reclaimed; Start afterwards would begin a
+// fresh cycle, but a stopped node never calls it.
+func (i *Initiator) Stop() {
+	if i.timer != nil {
+		i.timer.Cancel()
+		i.timer = nil
+	}
+	i.state = StateIdle
+}
+
 func (i *Initiator) succeed() {
 	i.state = StateConfigured
 	i.Duration = i.clock.Now().Sub(i.started)

@@ -236,9 +236,14 @@ type Medium struct {
 	sim   *sim.Simulator
 	cfg   Config
 	ports map[NodeID]*port
-	order []NodeID // deterministic receiver iteration
-	byOrd []*port  // ports indexed by attachment ordinal
+	byOrd []*port // ports indexed by attachment ordinal; nil = vacated slot
+	live  int     // attached (non-removed) ports
 	stats Stats
+
+	// freeOrds are ordinals vacated by RemoveNode, reused LIFO by the next
+	// AddNode so churning sessions hold the per-ord parallel arrays at the
+	// peak live population instead of growing with cumulative joins.
+	freeOrds []int
 
 	// Spatial index state; grid == nil means linear scan.
 	grid        *geom.Grid
@@ -296,7 +301,10 @@ func (m *Medium) Stats() Stats { return m.stats }
 
 // AddNode attaches a node to the medium. Adding the same id twice panics:
 // that is always a harness bug. New nodes are treated as unbounded movers
-// until SetSpeedBound declares otherwise.
+// until SetSpeedBound declares otherwise. Ordinals vacated by RemoveNode
+// are reused, so a joiner may iterate where a departed node used to —
+// receiver order stays a deterministic function of the attach/remove
+// history.
 func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
 	if _, dup := m.ports[id]; dup {
 		panic("radio: duplicate NodeID")
@@ -304,23 +312,67 @@ func (m *Medium) AddNode(id NodeID, pos PositionFunc, h Handler) {
 	if pos == nil || h == nil {
 		panic("radio: nil position or handler")
 	}
-	p := &port{id: id, ord: len(m.order), pos: pos, handler: h}
+	p := &port{id: id, pos: pos, handler: h}
+	if n := len(m.freeOrds); n > 0 {
+		p.ord = m.freeOrds[n-1]
+		m.freeOrds = m.freeOrds[:n-1]
+		m.byOrd[p.ord] = p
+		m.speeds[p.ord] = -1
+	} else {
+		p.ord = len(m.byOrd)
+		m.byOrd = append(m.byOrd, p)
+		m.speeds = append(m.speeds, -1)
+		m.refreshers = append(m.refreshers, nil)
+		m.refreshOn = append(m.refreshOn, false)
+		m.refreshSt = append(m.refreshSt, nil)
+	}
 	m.ports[id] = p
-	m.order = append(m.order, id)
-	m.byOrd = append(m.byOrd, p)
-	m.speeds = append(m.speeds, -1)
-	m.refreshers = append(m.refreshers, nil)
-	m.refreshOn = append(m.refreshOn, false)
-	m.refreshSt = append(m.refreshSt, nil)
+	m.live++
 	m.nUnbounded++
 	switch {
 	case m.grid != nil:
 		m.grid.Set(p.ord, pos(m.sim.Now()))
 	case m.cfg.Index == IndexGrid,
-		m.cfg.Index == IndexAuto && len(m.order) >= AutoGridThreshold:
+		m.cfg.Index == IndexAuto && m.live >= AutoGridThreshold:
 		m.enableGrid()
 	}
 }
+
+// RemoveNode detaches a node for good: it stops receiving immediately, its
+// grid bucket and speed/refresher accounting are reclaimed, and its ordinal
+// is recycled to the next AddNode. In-flight state is handled by the
+// tombstone: the vacated port is marked down, so pending transmit jobs
+// drop (releasing their pooled frames) and pending delivery batches skip
+// it — exactly the paths a mid-transmission SetDown already exercises.
+// The caller must stop the node's own transmissions first (a removed
+// sender panics, the same as an unknown one); under the sharded engine
+// removal happens only at barriers, while the region is quiescent.
+func (m *Medium) RemoveNode(id NodeID) {
+	p, ok := m.ports[id]
+	if !ok {
+		return
+	}
+	delete(m.ports, id)
+	p.down = true // tombstone for in-flight jobs and batches
+	ord := p.ord
+	wasSweep := m.sweepMover(ord)
+	if m.speeds[ord] < 0 {
+		m.nUnbounded--
+	}
+	m.speeds[ord] = 0
+	m.refreshers[ord] = nil // a pending refresh chain event exits harmlessly
+	m.noteSweepChange(ord, wasSweep)
+	m.byOrd[ord] = nil
+	m.freeOrds = append(m.freeOrds, ord)
+	m.live--
+	if m.grid != nil {
+		m.grid.Remove(ord)
+	}
+}
+
+// Live reports the number of attached (non-removed) ports — the churn
+// conformance suite's occupancy check.
+func (m *Medium) Live() int { return m.live }
 
 // SetSpeedBound declares that the node's position function never moves
 // faster than metresPerSec (zero = static). The spatial grid relies on the
@@ -462,6 +514,9 @@ func (m *Medium) enableGrid() {
 	m.grid = geom.NewGrid(m.cfg.Range)
 	now := m.sim.Now()
 	for ord, p := range m.byOrd {
+		if p == nil {
+			continue
+		}
 		m.grid.Set(ord, p.pos(now))
 	}
 	m.lastSweep = now
@@ -593,16 +648,12 @@ func (m *Medium) AppendNeighbors(id NodeID, out []NodeID) []NodeID {
 		})
 		return out
 	}
-	for _, oid := range m.order {
-		if oid == id {
-			continue
-		}
-		o := m.ports[oid]
-		if o.down {
+	for _, o := range m.byOrd {
+		if o == nil || o == p || o.down {
 			continue
 		}
 		if at.Dist2(o.pos(now)) <= r2 {
-			out = append(out, oid)
+			out = append(out, o.id)
 		}
 	}
 	return out
@@ -995,9 +1046,9 @@ func (m *Medium) completeJob(j *txJob) {
 	if m.grid != nil {
 		m.gridForEach(at, now, collect)
 	} else {
-		for _, oid := range m.order {
-			if oid != p.id {
-				collect(m.ports[oid])
+		for _, o := range m.byOrd {
+			if o != nil && o != p {
+				collect(o)
 			}
 		}
 	}
@@ -1180,11 +1231,10 @@ func (m *Medium) complete(p *port, payload []byte, to *NodeID, acked func(bool))
 			}
 		})
 	} else {
-		for _, oid := range m.order {
-			if oid == p.id {
+		for _, o := range m.byOrd {
+			if o == nil || o == p {
 				continue
 			}
-			o := m.ports[oid]
 			if o.down || at.Dist2(o.pos(now)) > r2 {
 				continue
 			}
@@ -1282,8 +1332,10 @@ func (m *Medium) runRemoteScan(msg ScanMsg) {
 		extra := m.maxSpeed * m.cfg.PropDelay.Seconds()
 		m.gridForEachRadius(msg.Pos, m.sim.Now(), extra, collect)
 	} else {
-		for _, oid := range m.order {
-			collect(m.ports[oid])
+		for _, o := range m.byOrd {
+			if o != nil {
+				collect(o)
+			}
 		}
 	}
 }

@@ -286,10 +286,19 @@ type Scenario struct {
 	// packets it is owed have landed. The idx is the window index.
 	OnWindow func(idx int, w WindowStat)
 
-	sent         map[flowPacket]sim.Time
-	result       *Result
-	flowStats    map[int]*flowStat
-	windows      []WindowStat
+	sent      map[flowPacket]sim.Time
+	result    *Result
+	flowStats map[int]*flowStat
+	windows   []WindowStat
+	// winBase is the absolute index of windows[0]. Batch runs keep it 0;
+	// a live session advances it as finalized windows are emitted and
+	// dropped, so the retained ring stays bounded.
+	winBase int
+	// onLatency, when set, receives end-to-end latency samples (src node
+	// index, seconds) instead of the source node's metrics — live
+	// sessions route them to bounded session aggregates so a departing
+	// source cannot strand samples.
+	onLatency    func(src int, seconds float64)
 	measureStart sim.Time
 	bootOffsets  []time.Duration
 	bootHorizon  time.Duration
@@ -344,12 +353,13 @@ func (sc *Scenario) windowIndex(at sim.Time) int {
 }
 
 func (sc *Scenario) windowAt(idx int) *WindowStat {
-	if idx < 0 {
-		return nil
+	if idx < sc.winBase {
+		return nil // finalized and dropped (live sessions only)
 	}
+	idx -= sc.winBase
 	for len(sc.windows) <= idx {
 		sc.windows = append(sc.windows, WindowStat{
-			Start: time.Duration(len(sc.windows)) * sc.Cfg.WindowSize,
+			Start: time.Duration(len(sc.windows)+sc.winBase) * sc.Cfg.WindowSize,
 		})
 	}
 	return &sc.windows[idx]
@@ -964,7 +974,11 @@ func (sc *Scenario) replayFlowLogs() {
 		delete(sc.sent, key)
 		st.delivered++
 		srcIdx := sc.Cfg.Flows[int(e.flow)-1].From
-		sc.Nodes[srcIdx].Metrics().Observe("e2e.latency_s", e.at.Sub(sentAt).Seconds())
+		if sc.onLatency != nil {
+			sc.onLatency(srcIdx, e.at.Sub(sentAt).Seconds())
+		} else {
+			sc.Nodes[srcIdx].Metrics().Observe("e2e.latency_s", e.at.Sub(sentAt).Seconds())
+		}
 		if w := sc.windowAt(sc.windowIndex(sentAt)); w != nil {
 			w.Delivered++
 		}

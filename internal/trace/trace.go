@@ -73,6 +73,19 @@ func (m *Metrics) Quantile(name string, q float64) float64 {
 	return sorted[idx]
 }
 
+// DrainSamples removes and returns every sample series, leaving the
+// counters untouched. Long-lived sessions call it at window barriers so
+// sample slices (per-delivery latencies, DAD durations) never accumulate
+// across an open-ended run; callers fold the drained slices into bounded
+// cumulative aggregates. Each name's slice keeps its observation order,
+// and the per-name folds are independent, so consuming the returned map
+// in any order is deterministic.
+func (m *Metrics) DrainSamples() map[string][]float64 {
+	out := m.samples
+	m.samples = make(map[string][]float64)
+	return out
+}
+
 // Merge adds other's counters and samples into m.
 func (m *Metrics) Merge(other *Metrics) {
 	for k, v := range other.counters {

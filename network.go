@@ -5,23 +5,25 @@ import (
 
 	"sbr6/internal/core"
 	"sbr6/internal/dnssrv"
-	"sbr6/internal/scenario"
 	"sbr6/internal/trace"
 	"sbr6/internal/wire"
 )
 
 // Network is one instantiated scenario: the simulator, medium and node
-// stacks, deterministically derived from a seed. Use it when an experiment
-// needs to drive the simulation interactively (bootstrap, poke nodes,
-// advance time); use a Runner when it just needs results.
+// stacks, deterministically derived from a seed. It is now a thin shim
+// over a paused Session kept for the batch-style API — Build the network,
+// poke it, Run it once to a Result.
+//
+// Deprecated: new interactive code should use Serve, which returns a
+// Session with continuous node churn, streamed windows and
+// snapshot/restore. Network remains fully supported for the batch path
+// (Run and the Runner), whose results it keeps byte-identical.
 //
 // A Network is single-threaded like the simulator underneath it: never
 // share one across goroutines.
 type Network struct {
-	spec      *Scenario
-	sc        *scenario.Scenario
-	behaviors map[int]core.Behavior
-	nodes     []*Node
+	session *Session
+	nodes   []*Node
 }
 
 // Build instantiates the scenario with its default seed.
@@ -29,51 +31,46 @@ func (s *Scenario) Build() (*Network, error) { return s.BuildSeed(s.cfg.Seed) }
 
 // BuildSeed instantiates the scenario with an overriding seed.
 func (s *Scenario) BuildSeed(seed int64) (*Network, error) {
-	cfg, behaviors := s.materialize(seed)
-	sc, err := scenario.Build(cfg)
+	sess, err := newSession(s, seed, false)
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range s.advs {
-		if a.bind != nil {
-			a.bind(behaviors[a.node], sc)
-		}
-	}
-	nw := &Network{spec: s, sc: sc, behaviors: behaviors}
-	for i, n := range sc.Nodes {
+	nw := &Network{session: sess}
+	for i, n := range sess.sc.Nodes {
 		nw.nodes = append(nw.nodes, &Node{n: n, idx: i})
 	}
 	return nw, nil
 }
 
 // Seed returns the seed this instance was built from.
-func (nw *Network) Seed() int64 { return nw.sc.Cfg.Seed }
+func (nw *Network) Seed() int64 { return nw.session.sc.Cfg.Seed }
 
 // Size returns the node count, including the DNS server at index 0.
-func (nw *Network) Size() int { return nw.sc.Cfg.N }
+func (nw *Network) Size() int { return nw.session.sc.Cfg.N }
 
 // Node returns the i-th node's handle (0 is the DNS server).
 func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
 
 // Bootstrap staggers secure DAD across all nodes and runs until the last
 // objection window closes; it returns how many configured successfully.
-func (nw *Network) Bootstrap() int { return nw.sc.Bootstrap() }
+func (nw *Network) Bootstrap() int { return nw.session.sc.Bootstrap() }
 
 // RunFor advances the simulation by d of virtual time. Under WithShards
 // this drives the sharded engine's barrier loop; otherwise the serial
 // kernel directly.
-func (nw *Network) RunFor(d time.Duration) { nw.sc.RunFor(d) }
+func (nw *Network) RunFor(d time.Duration) { nw.session.sc.RunFor(d) }
 
 // Now returns the current virtual time since the start of the run.
-func (nw *Network) Now() time.Duration { return time.Duration(nw.sc.S.Now()) }
+func (nw *Network) Now() time.Duration { return time.Duration(nw.session.sc.S.Now()) }
 
 // Run executes the full experiment — bootstrap, warmup, measured traffic,
 // cooldown — and returns the aggregated result. For parallel multi-seed
-// execution or streaming observation, use a Runner instead.
-func (nw *Network) Run() *Result { return publicResult(nw.Seed(), nw.sc.Run()) }
+// execution or streaming observation, use a Runner instead; for an
+// open-ended run under external control, use Serve.
+func (nw *Network) Run() *Result { return publicResult(nw.Seed(), nw.session.sc.Run()) }
 
 // Connected reports whether every node can currently reach every other.
-func (nw *Network) Connected() bool { return nw.sc.Connected() }
+func (nw *Network) Connected() bool { return nw.session.sc.Connected() }
 
 // Metric sums a per-node counter over all nodes.
 func (nw *Network) Metric(name string) float64 {
@@ -98,7 +95,7 @@ func (nw *Network) MetricMean(name string) float64 {
 // In-module experiments type-assert on it; its concrete types live in
 // internal packages.
 func (nw *Network) AdversaryState(node int) any {
-	b, ok := nw.behaviors[node]
+	b, ok := nw.session.behaviors[node]
 	if !ok {
 		return nil
 	}
@@ -108,9 +105,9 @@ func (nw *Network) AdversaryState(node int) any {
 // DNSServer exposes the trust anchor's server state (lookups, preloads,
 // update handling). The concrete type lives in an internal package; it is
 // an escape hatch for in-module experiments and examples.
-func (nw *Network) DNSServer() *dnssrv.Server { return nw.sc.DNSSrv }
+func (nw *Network) DNSServer() *dnssrv.Server { return nw.session.sc.DNSSrv }
 
-// Node is a handle on one MANET host inside a Network.
+// Node is a handle on one MANET host inside a Network or a Session.
 type Node struct {
 	n   *core.Node
 	idx int
@@ -127,6 +124,10 @@ func (nd *Node) Name() string { return nd.n.Name() }
 
 // Configured reports whether the node completed secure DAD.
 func (nd *Node) Configured() bool { return nd.n.Configured() }
+
+// Departed reports whether the node has been ejected from a live session
+// (always false inside a Network).
+func (nd *Node) Departed() bool { return nd.n.Dead() }
 
 // Resolve performs a challenge-bound signed DNS lookup; cb fires when the
 // answer arrives or the resolve times out.

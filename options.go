@@ -143,6 +143,7 @@ type Scenario struct {
 	cfg     scenario.Config
 	areaSet bool
 	advs    []Adversary
+	obs     []Observer // scenario-level observers, merged with the Runner's
 	tap     func(TapEvent)
 	tapMu   sync.Mutex // serializes tap delivery across batch workers
 }
@@ -472,11 +473,24 @@ func WithLoss(p float64) Option {
 }
 
 // WithFlows declares the constant-bit-rate traffic of the measurement
-// window, replacing any previously declared flows.
+// window, replacing any previously declared flows. Node-index range
+// checks wait for the final node count; everything else validates here.
 func WithFlows(flows ...Flow) Option {
 	return func(s *Scenario) error {
 		s.cfg.Flows = s.cfg.Flows[:0]
-		for _, f := range flows {
+		for i, f := range flows {
+			switch {
+			case f.From < 0 || f.To < 0:
+				return fmt.Errorf("WithFlows: flow %d: negative node index (From=%d To=%d): %w", i, f.From, f.To, ErrOption)
+			case f.From == f.To:
+				return fmt.Errorf("WithFlows: flow %d: From and To are both %d: %w", i, f.From, ErrOption)
+			case f.Interval <= 0:
+				return fmt.Errorf("WithFlows: flow %d: non-positive interval %v: %w", i, f.Interval, ErrOption)
+			case f.Size < 0:
+				return fmt.Errorf("WithFlows: flow %d: negative payload size %d: %w", i, f.Size, ErrOption)
+			case f.Start < 0:
+				return fmt.Errorf("WithFlows: flow %d: negative start offset %v: %w", i, f.Start, ErrOption)
+			}
 			s.cfg.Flows = append(s.cfg.Flows, scenario.Flow{
 				From: f.From, To: f.To, Interval: f.Interval, Size: f.Size, Start: f.Start,
 			})
@@ -591,7 +605,7 @@ func WithSuite(suite Suite) Option {
 	return func(s *Scenario) error {
 		is, err := suite.internal()
 		if err != nil {
-			return err
+			return fmt.Errorf("WithSuite: %w", err)
 		}
 		s.cfg.Protocol.Suite = is
 		return nil
@@ -614,16 +628,38 @@ func WithRERRThreshold(n int) Option {
 // already declared. Each replicate of a batch gets fresh adversary state.
 func WithAdversaries(advs ...Adversary) Option {
 	return func(s *Scenario) error {
+		for i, a := range advs {
+			if a.build == nil {
+				return fmt.Errorf("WithAdversaries: adversary %d is a zero-value Adversary (use a constructor): %w", i, ErrOption)
+			}
+		}
 		s.advs = append(s.advs, advs...)
 		return nil
 	}
 }
 
+// WithObserver attaches a streaming Observer to the scenario itself, so
+// every execution of it — Runner.Run, Runner.RunBatch — reports progress
+// without per-Runner wiring. Scenario observers are merged with the
+// Runner's own Observer; each receives every event, and calls are
+// serialized across batch workers. May be repeated.
+func WithObserver(o Observer) Option {
+	return func(s *Scenario) error {
+		if o == nil {
+			return fmt.Errorf("WithObserver(nil): %w", ErrOption)
+		}
+		s.obs = append(s.obs, o)
+		return nil
+	}
+}
+
 // WithTap streams every packet reception at honest (non-adversarial) nodes
-// to f during the run. Intended for trace output; the callback must not
-// mutate simulation state. Calls are serialized, so a tap shared by the
-// parallel replicates of a RunBatch needs no locking of its own (events
-// from different seeds interleave arbitrarily).
+// to f during the run. It is the low-level packet-trace hook: for run
+// progress and per-window statistics use WithObserver (or a Runner's
+// Observer) instead. The callback must not mutate simulation state. Calls
+// are serialized, so a tap shared by the parallel replicates of a RunBatch
+// needs no locking of its own (events from different seeds interleave
+// arbitrarily).
 func WithTap(f func(TapEvent)) Option {
 	return func(s *Scenario) error {
 		if f == nil {
@@ -684,6 +720,9 @@ func WithWindows(size time.Duration) Option {
 // WithName registers a domain name for a node during its DAD round.
 func WithName(node int, name string) Option {
 	return func(s *Scenario) error {
+		if node < 0 {
+			return fmt.Errorf("WithName(%d, %q): negative node index: %w", node, name, ErrOption)
+		}
 		if name == "" {
 			return fmt.Errorf("WithName(%d, \"\"): empty name: %w", node, ErrOption)
 		}
@@ -701,6 +740,9 @@ func WithPreload(name string, node int) Option {
 	return func(s *Scenario) error {
 		if name == "" {
 			return fmt.Errorf("WithPreload(\"\", %d): empty name: %w", node, ErrOption)
+		}
+		if node < 0 {
+			return fmt.Errorf("WithPreload(%q, %d): negative node index: %w", name, node, ErrOption)
 		}
 		if s.cfg.Preload == nil {
 			s.cfg.Preload = map[string]int{}

@@ -39,7 +39,7 @@ func SeedRange(base int64, n int) []int64 {
 // Run executes one full experiment with the scenario's default seed,
 // honoring ctx cancellation between simulation events.
 func (r *Runner) Run(ctx context.Context, sc *Scenario) (*Result, error) {
-	return r.runOne(ctx, sc, sc.Seed(), r.observer())
+	return r.runOne(ctx, sc, sc.Seed(), r.observerFor(sc))
 }
 
 // RunBatch executes one replicate per seed across the worker pool and
@@ -57,7 +57,7 @@ func (r *Runner) RunBatch(ctx context.Context, sc *Scenario, seeds []int64) (*Ba
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	obs := r.observer()
+	obs := r.observerFor(sc)
 
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
@@ -102,12 +102,22 @@ func (r *Runner) RunBatch(ctx context.Context, sc *Scenario, seeds []int64) (*Ba
 	return batch, errors.Join(failures...)
 }
 
-// observer wraps the configured observer for concurrent use.
-func (r *Runner) observer() Observer {
-	if r.Observer == nil {
-		return nil
+// observerFor merges the Runner's Observer with the scenario's
+// WithObserver attachments and wraps the result for concurrent use.
+func (r *Runner) observerFor(sc *Scenario) Observer {
+	var list []Observer
+	if r.Observer != nil {
+		list = append(list, r.Observer)
 	}
-	return &syncObserver{obs: r.Observer}
+	list = append(list, sc.obs...)
+	switch len(list) {
+	case 0:
+		return nil
+	case 1:
+		return &syncObserver{obs: list[0]}
+	default:
+		return &syncObserver{obs: multiObserver{obs: list}}
+	}
 }
 
 // runOne builds and runs a single seed-replicate.
@@ -121,7 +131,7 @@ func (r *Runner) runOne(ctx context.Context, sc *Scenario, seed int64, obs Obser
 	}
 	if obs != nil {
 		obs.RunStarted(seed)
-		nw.sc.OnWindow = func(idx int, w scenarioWindow) {
+		nw.session.sc.OnWindow = func(idx int, w scenarioWindow) {
 			obs.Window(seed, publicWindow(w))
 		}
 	}
@@ -133,12 +143,12 @@ func (r *Runner) runOne(ctx context.Context, sc *Scenario, seed int64, obs Obser
 		var watchdog func()
 		watchdog = func() {
 			if ctx.Err() != nil {
-				nw.sc.S.Stop()
+				nw.session.sc.S.Stop()
 				return
 			}
-			nw.sc.S.After(100*time.Millisecond, watchdog)
+			nw.session.sc.S.After(100*time.Millisecond, watchdog)
 		}
-		nw.sc.S.After(0, watchdog)
+		nw.session.sc.S.After(0, watchdog)
 	}
 	res := nw.Run()
 	if err := ctx.Err(); err != nil {

@@ -114,6 +114,38 @@ func TestOptionValidation(t *testing.T) {
 			sbr6.WithNodes(5), sbr6.WithAdversaries(sbr6.AddressClone(2, 2)),
 		}, "victim"},
 		{"zero shards", []sbr6.Option{sbr6.WithShards(0)}, "WithShards"},
+		{"unknown placement", []sbr6.Option{sbr6.WithPlacement(sbr6.Placement(42))}, "WithPlacement"},
+		{"negative pause", []sbr6.Option{sbr6.WithMobility(sbr6.Mobility{MaxSpeed: 1, Pause: -time.Second})}, "WithMobility"},
+		{"negative walk epoch", []sbr6.Option{sbr6.WithMobility(sbr6.Mobility{MaxSpeed: 1, Epoch: -time.Second})}, "WithMobility"},
+		{"radio loss out of range", []sbr6.Option{sbr6.WithRadio(sbr6.Radio{LossRate: 1.5})}, "WithRadio"},
+		{"zero radio range", []sbr6.Option{sbr6.WithRadioRange(0)}, "WithRadioRange"},
+		{"negative loss", []sbr6.Option{sbr6.WithLoss(-0.1)}, "WithLoss"},
+		{"unknown boot policy", []sbr6.Option{sbr6.WithBootPolicy(sbr6.BootPolicy(42))}, "WithBootPolicy"},
+		{"flow zero interval", []sbr6.Option{
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 2}),
+		}, "WithFlows"},
+		{"flow self loop", []sbr6.Option{
+			sbr6.WithFlows(sbr6.Flow{From: 2, To: 2, Interval: time.Second}),
+		}, "WithFlows"},
+		{"flow negative size", []sbr6.Option{
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 2, Interval: time.Second, Size: -1}),
+		}, "WithFlows"},
+		{"flow negative start", []sbr6.Option{
+			sbr6.WithFlows(sbr6.Flow{From: 1, To: 2, Interval: time.Second, Start: -time.Second}),
+		}, "WithFlows"},
+		{"bad suite names option", []sbr6.Option{sbr6.WithSuite(sbr6.Suite(42))}, "WithSuite"},
+		{"zero-value adversary", []sbr6.Option{sbr6.WithAdversaries(sbr6.Adversary{})}, "WithAdversaries"},
+		{"nil observer", []sbr6.Option{sbr6.WithObserver(nil)}, "WithObserver"},
+		{"negative duration", []sbr6.Option{sbr6.WithDuration(-time.Second)}, "WithDuration"},
+		{"negative cooldown", []sbr6.Option{sbr6.WithCooldown(-time.Second)}, "WithCooldown"},
+		{"negative window", []sbr6.Option{sbr6.WithWindows(-time.Second)}, "WithWindows"},
+		{"negative name index", []sbr6.Option{sbr6.WithName(-1, "a.example")}, "WithName"},
+		{"empty name", []sbr6.Option{sbr6.WithName(3, "")}, "WithName"},
+		{"empty preload name", []sbr6.Option{sbr6.WithPreload("", 3)}, "WithPreload"},
+		{"negative preload index", []sbr6.Option{sbr6.WithPreload("a.example", -1)}, "WithPreload"},
+		{"zero DAD timeout", []sbr6.Option{sbr6.WithDADTimeout(0)}, "WithDADTimeout"},
+		{"negative DNS commit delay", []sbr6.Option{sbr6.WithDNSCommitDelay(-time.Second)}, "WithDNSCommitDelay"},
+		{"negative shards", []sbr6.Option{sbr6.WithShards(-2)}, "WithShards"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
